@@ -1,0 +1,198 @@
+(* simos — command-line driver for the multi-kernel simulator.
+
+   Examples:
+     simos run --app minife --os mckernel --nodes 1024
+     simos sweep --app ccs-qcd
+     simos ltp
+     simos node --os mos
+     simos apps *)
+
+open Cmdliner
+open Multikernel
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let app_arg =
+  let doc = "Application model (amg, ccs-qcd, geofem, hpcg, lammps, milc, minife, lulesh)." in
+  Arg.(required & opt (some string) None & info [ "app"; "a" ] ~docv:"APP" ~doc)
+
+let os_arg =
+  let doc = "Operating system (linux, mckernel, mos)." in
+  Arg.(value & opt string "mckernel" & info [ "os"; "o" ] ~docv:"OS" ~doc)
+
+let nodes_arg =
+  let doc = "Number of compute nodes." in
+  Arg.(value & opt int 16 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed (same seed, same result)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let runs_arg =
+  let doc = "Repetitions for median/min/max (the paper uses 5)." in
+  Arg.(value & opt int Cluster.Experiment.default_runs & info [ "runs" ] ~docv:"R" ~doc)
+
+let lookup_app name =
+  match find_app name with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown application %s (try: %s)" name
+              (String.concat ", " app_names)))
+
+let lookup_scenario name =
+  match Cluster.Scenario.find name with
+  | Some s -> Ok s
+  | None -> Error (`Msg (Printf.sprintf "unknown OS %s (linux, mckernel, mos)" name))
+
+(* ------------------------------------------------------------------ *)
+(* simos run                                                           *)
+
+let run_cmd =
+  let action app os nodes seed =
+    match (lookup_app app, lookup_scenario os) with
+    | Ok app, Ok scenario ->
+        let r = Cluster.Driver.run ~scenario ~app ~nodes ~seed () in
+        Format.printf "%s on %s, %d node(s):@." app.Apps.App.name
+          scenario.Cluster.Scenario.label nodes;
+        Format.printf "  %a@." Cluster.Driver.pp_result r;
+        Format.printf "  figure of merit: %.5g %s@." r.Cluster.Driver.fom
+          app.Apps.App.fom_unit;
+        `Ok ()
+    | Error (`Msg m), _ | _, Error (`Msg m) -> `Error (false, m)
+  in
+  let doc = "Run one application under one OS at one scale." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(ret (const action $ app_arg $ os_arg $ nodes_arg $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simos sweep                                                         *)
+
+let format_arg =
+  let doc = "Output format: table, csv or json." in
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
+    & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+
+let sweep_cmd =
+  let action app runs seed format =
+    match lookup_app app with
+    | Ok app ->
+        let series =
+          Cluster.Experiment.compare_scenarios ~scenarios:Cluster.Scenario.trio ~app
+            ~runs ~seed ()
+        in
+        (match format with
+        | `Csv -> print_string (Cluster.Report.csv ~app series)
+        | `Json ->
+            print_endline
+              (Engine.Json.to_string_pretty (Cluster.Report.json ~app series))
+        | `Table ->
+            print_string (Cluster.Report.fom_table ~app series);
+            let baseline =
+              List.find
+                (fun (s : Cluster.Experiment.series) ->
+                  s.Cluster.Experiment.scenario_label = "Linux")
+                series
+            in
+            print_string (Cluster.Report.relative_table ~app ~baseline series);
+            print_string (Cluster.Report.relative_chart ~app ~baseline series));
+        `Ok ()
+    | Error (`Msg m) -> `Error (false, m)
+  in
+  let doc = "Sweep one application over its node counts under all three kernels." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(ret (const action $ app_arg $ runs_arg $ seed_arg $ format_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simos ltp                                                           *)
+
+let ltp_cmd =
+  let action () =
+    List.iter
+      (fun k ->
+        let s = Compat.Ltp.run_all k in
+        Printf.printf "%-9s %4d failed / %d\n" (Compat.Ltp.kernel_to_string k)
+          s.Compat.Ltp.failed s.Compat.Ltp.total;
+        List.iter
+          (fun (cause, n) -> Printf.printf "    %-24s %d\n" cause n)
+          (Compat.Ltp.failures_by_cause s))
+      [ Compat.Ltp.Linux_k; Compat.Ltp.Mckernel_k; Compat.Ltp.Mos_k ]
+  in
+  let doc = "Run the LTP-like compatibility corpus against all three kernels." in
+  Cmd.v (Cmd.info "ltp" ~doc) Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* simos node                                                          *)
+
+let node_cmd =
+  let action os =
+    match lookup_scenario os with
+    | Ok scenario ->
+        let k = scenario.Cluster.Scenario.make () in
+        Format.printf "%s (%s)@." k.Kernel.Os.name
+          (Kernel.Os.kind_to_string k.Kernel.Os.kind);
+        Format.printf "  cores: %d app / %d OS, %d hw threads per core@."
+          (List.length k.Kernel.Os.app_cores)
+          (List.length k.Kernel.Os.os_cores)
+          (Hw.Topology.threads_per_core k.Kernel.Os.topo);
+        let numa = Hw.Topology.numa k.Kernel.Os.topo in
+        List.iter
+          (fun (d : Hw.Numa.domain) ->
+            Format.printf "  numa %d: %s %a free %a@." d.Hw.Numa.id
+              (Hw.Memory_kind.to_string d.Hw.Numa.kind)
+              Engine.Units.pp_size d.Hw.Numa.capacity Engine.Units.pp_size
+              (Mem.Phys.free_bytes k.Kernel.Os.phys ~domain:d.Hw.Numa.id))
+          (Hw.Numa.domains numa);
+        Format.printf "  noise profile: %s (%.4f%% mean overhead)@."
+          k.Kernel.Os.app_noise.Noise.Profile.name
+          (100.0 *. Noise.Profile.total_overhead k.Kernel.Os.app_noise);
+        Format.printf "  largest contiguous MCDRAM block: %a@." Engine.Units.pp_size
+          (Kernel.Os.largest_free_block k ~kind:Hw.Memory_kind.Mcdram);
+        let locals, offloads, partials =
+          List.fold_left
+            (fun (l, o, p) s ->
+              match k.Kernel.Os.disposition s with
+              | Syscall.Disposition.Local -> (l + 1, o, p)
+              | Syscall.Disposition.Offload -> (l, o + 1, p)
+              | Syscall.Disposition.Partial _ -> (l, o, p + 1)
+              | Syscall.Disposition.Unsupported -> (l, o, p))
+            (0, 0, 0) Syscall.Sysno.all
+        in
+        Format.printf "  syscalls: %d local, %d offloaded, %d partial@." locals
+          offloads partials;
+        `Ok ()
+    | Error (`Msg m) -> `Error (false, m)
+  in
+  let doc = "Describe a booted node under the given kernel." in
+  Cmd.v (Cmd.info "node" ~doc) Term.(ret (const action $ os_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simos apps                                                          *)
+
+let apps_cmd =
+  let action () =
+    List.iter
+      (fun (a : Apps.App.t) ->
+        Printf.printf "%-10s %2d ranks x %d threads, %s scaling, %d iterations (%s)\n"
+          a.Apps.App.name a.Apps.App.ranks_per_node a.Apps.App.threads_per_rank
+          (match a.Apps.App.scaling with Apps.App.Weak -> "weak" | Apps.App.Strong -> "strong")
+          a.Apps.App.iterations a.Apps.App.fom_unit)
+      Apps.Registry.all
+  in
+  let doc = "List the application models." in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const action $ const ())
+
+let calibration_cmd =
+  let action () = print_string (Cluster.Calibration.table ()) in
+  let doc = "Print the calibration audit: every cost constant with provenance." in
+  Cmd.v (Cmd.info "calibration" ~doc) Term.(const action $ const ())
+
+let () =
+  let doc = "lightweight multi-kernel operating system simulator" in
+  let info = Cmd.info "simos" ~version ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; ltp_cmd; node_cmd; apps_cmd; calibration_cmd ]))

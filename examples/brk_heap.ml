@@ -1,0 +1,43 @@
+(* The Lulesh heap story (Table I / Section IV).
+
+   Lulesh 2.0 allocates and frees ~30 MB of temporaries through brk()
+   every timestep — about 12,000 calls per run.  Linux returns the
+   memory on every shrink, so each regrowth page-faults and re-zeroes
+   it; the LWKs keep the heap mapped, align it to 2 MB, and zero only
+   the first 4 KB of each fresh large page.
+
+     dune exec examples/brk_heap.exe *)
+
+open Multikernel
+
+let replay scenario =
+  let os = scenario.Cluster.Scenario.make () in
+  let node = Kernel.Node.boot ~os ~ranks:1 ~threads_per_rank:2 ~seed:1 in
+  let trace = Apps.Lulesh_trace.full_trace ~scale:1.0 in
+  let elapsed = Kernel.Node.run_ops node ~rank:0 trace in
+  let st = Mem.Address_space.stats (Kernel.Node.address_space node ~rank:0) in
+  (elapsed, st)
+
+let () =
+  let q, g, s = Apps.Lulesh_trace.count_stats (Apps.Lulesh_trace.full_trace ~scale:1.0) in
+  Printf.printf
+    "Replaying the profiled Lulesh -s 30 trace: %d queries, %d grows,\n\
+     %d shrinks (Section IV reports 7,526 / 3,028 / 1,499).\n\n"
+    q g s;
+  Printf.printf "%-10s %12s %12s %14s %12s\n" "kernel" "heap peak" "faults"
+    "zeroed" "trace time";
+  List.iter
+    (fun scenario ->
+      let elapsed, st = replay scenario in
+      Printf.printf "%-10s %12s %12d %14s %12s\n" scenario.Cluster.Scenario.label
+        (Engine.Units.size_to_string st.Mem.Address_space.heap_peak)
+        st.Mem.Address_space.faults
+        (Engine.Units.size_to_string st.Mem.Address_space.zeroed_bytes)
+        (Engine.Units.time_to_string elapsed))
+    (List.rev scenarios);
+  let _, linux_st = replay Cluster.Scenario.linux in
+  Printf.printf
+    "\nCumulative heap growth: %s (the paper: 22 GB) — Linux re-zeroes\n\
+     essentially all of it, 4 KB fault by 4 KB fault, while the LWK heap\n\
+     fast path turns the ~12,000 brk calls into pointer arithmetic.\n"
+    (Engine.Units.size_to_string linux_st.Mem.Address_space.cumulative_heap_growth)

@@ -1,0 +1,48 @@
+(* File I/O through the multi-kernel: checkpointing.
+
+   Every file operation on an LWK is offloaded — McKernel forwards it
+   to the proxy process, shipping write buffers across the IKC
+   channel.  For an HPC checkpoint (big sequential writes) the
+   per-call offload is amortised by data movement, so the LWK penalty
+   stays small even though *every* call crosses kernels; descriptor
+   state meanwhile lives in the Linux-side proxy's table.
+
+     dune exec examples/checkpoint.exe *)
+
+open Multikernel
+
+let checkpoint_ops ~chunk ~chunks =
+  Kernel.Workload.Open_file "/scratch/ckpt-000"
+  :: List.concat_map
+       (fun _ -> [ Kernel.Workload.Write_bytes chunk ])
+       (List.init chunks (fun i -> i))
+  @ [ Kernel.Workload.Close_file ]
+
+let () =
+  let mib = 1024 * 1024 in
+  Printf.printf
+    "Writing a 256 MiB checkpoint per rank (64 x 4 MiB chunks), one rank shown:\n\n";
+  Printf.printf "%-10s %12s %14s %12s\n" "kernel" "time" "per-call cost" "descriptors";
+  List.iter
+    (fun (scenario : Cluster.Scenario.t) ->
+      let os = scenario.Cluster.Scenario.make () in
+      let node = Kernel.Node.boot ~os ~ranks:1 ~threads_per_rank:1 ~seed:9 in
+      let ops = checkpoint_ops ~chunk:(4 * mib) ~chunks:64 in
+      let elapsed = Kernel.Node.run_ops node ~rank:0 ops in
+      let st = Kernel.Node.rank_state node 0 in
+      let acct = st.Kernel.Node.task.Proc.Task.acct in
+      let calls = acct.Proc.Task.syscalls_local + acct.Proc.Task.syscalls_offloaded in
+      let where =
+        if Proc.Process.has_proxy st.Kernel.Node.process then "proxy (Linux side)"
+        else "own table"
+      in
+      Printf.printf "%-10s %12s %14s %12s\n" scenario.Cluster.Scenario.label
+        (Engine.Units.time_to_string elapsed)
+        (Engine.Units.time_to_string (acct.Proc.Task.kernel_time / max 1 calls))
+        where)
+    (List.rev scenarios);
+  Printf.printf
+    "\nThe per-call offload adds microseconds, but a 4 MiB write spends its\n\
+     time moving data: 'the full Linux API is available via system call\n\
+     offloading' (Section II-B) at a few percent for bulk I/O.  Small-\n\
+     message metadata workloads would feel the crossing on every call.\n"

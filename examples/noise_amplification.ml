@@ -1,0 +1,64 @@
+(* How operating-system noise murders collectives at scale
+   (Figure 5b / Section III-C).
+
+   A single stolen timeslice on one of 131,072 hardware threads
+   delays the whole machine at the next MPI_Allreduce.  This example
+   measures the effect in isolation: a compute window followed by an
+   allreduce, repeated, under each kernel's noise profile.
+
+     dune exec examples/noise_amplification.exe *)
+
+open Multikernel
+
+let ranks_per_node = 64
+let window = 2 * Engine.Units.ms
+let iterations = 50
+
+let run_sync_loop profile nodes seed =
+  let rng = Engine.Rng.create seed in
+  let node_rngs = Array.init nodes (fun i -> Engine.Rng.split rng i) in
+  let env =
+    {
+      Mpi.Collective.fabric = Fabric.Fabric.make ~nodes ();
+      syscall_cost = (fun _ -> 0);
+      intra_ranks = ranks_per_node;
+    }
+  in
+  let clocks = Array.make nodes 0 in
+  for _ = 1 to iterations do
+    Array.iteri
+      (fun i c ->
+        let skew =
+          Noise.Injector.max_delay profile node_rngs.(i) ~dur:window
+            ~ranks:ranks_per_node
+        in
+        clocks.(i) <- c + window + skew)
+      clocks;
+    Mpi.Collective.allreduce env ~clocks ~bytes:8
+  done;
+  Array.fold_left max 0 clocks / iterations
+
+let () =
+  Printf.printf
+    "Per-iteration time of [%s compute + 8-byte allreduce], %d ranks/node:\n\n"
+    (Engine.Units.time_to_string window)
+    ranks_per_node;
+  Printf.printf "%8s %14s %14s %14s %10s\n" "nodes" "silent (McK)" "mOS LWK"
+    "Linux nohz" "slowdown";
+  List.iter
+    (fun nodes ->
+      let silent = run_sync_loop Noise.Profile.silent nodes 1 in
+      let mos = run_sync_loop Noise.Profile.mos_lwk nodes 2 in
+      let linux = run_sync_loop Noise.Profile.linux_nohz_full nodes 3 in
+      Printf.printf "%8d %14s %14s %14s %9.2fx\n" nodes
+        (Engine.Units.time_to_string silent)
+        (Engine.Units.time_to_string mos)
+        (Engine.Units.time_to_string linux)
+        (float_of_int linux /. float_of_int silent))
+    [ 1; 16; 128; 512; 2048 ];
+  Printf.printf
+    "\nThe mean noise on a Linux core is well under 1%% — but a collective\n\
+     waits for the *maximum* across every rank, and that max grows with\n\
+     scale.  The LWKs' silent cores keep the allreduce at wire speed,\n\
+     which is why MiniFE 'ran almost seven times faster on the LWK'\n\
+     at 1,024 nodes (Section III-C).\n"

@@ -1,0 +1,26 @@
+(* Quickstart: boot the three kernels, run HPCG at a few scales and
+   print the comparison the paper's Figure 4 makes.
+
+     dune exec examples/quickstart.exe *)
+
+open Multikernel
+
+let () =
+  let app = Option.get (find_app "hpcg") in
+  Printf.printf "HPCG (%d ranks x %d threads per node, %s)\n\n"
+    app.Apps.App.ranks_per_node app.Apps.App.threads_per_rank app.Apps.App.fom_unit;
+  Printf.printf "%8s %12s %12s %12s %10s\n" "nodes" "McKernel" "mOS" "Linux"
+    "best/Linux";
+  List.iter
+    (fun nodes ->
+      let results = compare_at ~app ~nodes () in
+      let fom label = (List.assoc label results).Cluster.Driver.fom in
+      let mck = fom "McKernel" and mos = fom "mOS" and linux = fom "Linux" in
+      Printf.printf "%8d %12.4g %12.4g %12.4g %9.2fx\n" nodes mck mos linux
+        (Float.max mck mos /. linux))
+    [ 1; 16; 128; 1024 ];
+  Printf.printf
+    "\nThe LWKs win on memory management (large pages, prefaulting) at small\n\
+     scale and on OS-noise isolation at large scale.  Try other applications:\n\
+     %s\n"
+    (String.concat ", " app_names)

@@ -1,0 +1,29 @@
+open Kernels
+
+let app =
+  {
+    App.name = "AMG2013";
+    ranks_per_node = 64;
+    threads_per_rank = 1;
+    scaling = App.Weak;
+    node_counts = weak_counts;
+    footprint_per_rank = uniform_footprint (160 * mib);
+    heap_per_rank = 0;
+    shm_bytes_per_rank = 24 * mib;
+    iteration =
+      (fun ~nodes:_ ->
+        [
+          (* One V-cycle: fine-level relaxation dominates bandwidth,
+             coarse levels add reductions and message count. *)
+          App.Stream (120 * mib);
+          App.Allreduce { bytes = 8; count = 6 };
+          App.Halo { bytes = 40 * 1024; neighbors = 6; msgs_per_node = 96 };
+          App.Yields 2600;
+        ]);
+    iterations = 30;
+    sim_iterations = 12;
+    trace = None;
+    work_per_iteration = (fun ~nodes -> weak_work ~per_node:1.0e6 ~nodes);
+    fom_unit = "FOM/s";
+    linux_ddr_only = false;
+  }

@@ -1,0 +1,11 @@
+(** AMG2013 — parallel algebraic multigrid (BoomerAMG).
+
+    Weak-scaled.  A V-cycle touches every multigrid level: moderate
+    bandwidth demand, many small reductions (norms and inner products
+    on each level) and many small halo messages.  Fits comfortably in
+    MCDRAM.  This is the workload for which the paper measured a 9%
+    improvement at 16 nodes from [--mpol-shm-premap] together with
+    [--disable-sched-yield] (Section IV) — it yields a lot while
+    polling its many-message exchanges. *)
+
+val app : App.t

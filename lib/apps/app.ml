@@ -1,0 +1,49 @@
+type phase =
+  | Stream of int
+  | Cpu of Mk_engine.Units.time
+  | Allreduce of { bytes : int; count : int }
+  | Halo of { bytes : int; neighbors : int; msgs_per_node : int }
+  | Yields of int
+
+type scaling = Weak | Strong
+
+type t = {
+  name : string;
+  ranks_per_node : int;
+  threads_per_rank : int;
+  scaling : scaling;
+  node_counts : int list;
+  footprint_per_rank : nodes:int -> local_rank:int -> int;
+  heap_per_rank : int;
+  shm_bytes_per_rank : int;
+  iteration : nodes:int -> phase list;
+  iterations : int;
+  sim_iterations : int;
+  trace : (nodes:int -> iteration:int -> Mk_kernel.Workload.op list) option;
+  work_per_iteration : nodes:int -> float;
+  fom_unit : string;
+  linux_ddr_only : bool;
+}
+
+let phases_pp ppf = function
+  | Stream b -> Format.fprintf ppf "stream(%a)" Mk_engine.Units.pp_size b
+  | Cpu t -> Format.fprintf ppf "cpu(%a)" Mk_engine.Units.pp_time t
+  | Allreduce { bytes; count } -> Format.fprintf ppf "allreduce(%dB x%d)" bytes count
+  | Halo { bytes; neighbors; msgs_per_node } ->
+      Format.fprintf ppf "halo(%dB, %d nbrs, %d msgs)" bytes neighbors msgs_per_node
+  | Yields n -> Format.fprintf ppf "yields(%d)" n
+
+let fom t ~nodes ~total_time =
+  let sec = Mk_engine.Units.to_sec total_time in
+  if sec <= 0.0 then 0.0
+  else t.work_per_iteration ~nodes *. float_of_int t.iterations /. sec
+
+let allreduce_count phases =
+  List.fold_left
+    (fun acc -> function Allreduce { count; _ } -> acc + count | _ -> acc)
+    0 phases
+
+let internode_messages phases =
+  List.fold_left
+    (fun acc -> function Halo { msgs_per_node; _ } -> acc + msgs_per_node | _ -> acc)
+    0 phases

@@ -1,0 +1,61 @@
+(** Mechanistic application models.
+
+    Each of the paper's eight applications is described by what it
+    does to the operating system per iteration — how much memory it
+    streams, how its footprint compares to MCDRAM, how often it
+    synchronises, how many internode messages it sends and of what
+    size, and how it churns the heap.  Those are the only properties
+    the paper's per-application results depend on, so a faithful
+    phase description reproduces each curve from its mechanism.
+
+    An iteration is a list of {!phase}s executed by every rank; the
+    cluster driver turns them into per-node clock updates. *)
+
+type phase =
+  | Stream of int
+      (** Sweep [bytes] of the rank's working set (bandwidth-bound). *)
+  | Cpu of Mk_engine.Units.time  (** CPU-bound work, noise-inflated. *)
+  | Allreduce of { bytes : int; count : int }
+      (** [count] back-to-back allreduces of [bytes] (CG dots, norms). *)
+  | Halo of { bytes : int; neighbors : int; msgs_per_node : int }
+      (** Nearest-neighbour exchange; [msgs_per_node] internode
+          messages leave each node (drives NIC control syscalls). *)
+  | Yields of int
+      (** sched_yield calls per rank from MPI busy-wait loops. *)
+
+type scaling = Weak | Strong
+
+type t = {
+  name : string;
+  ranks_per_node : int;
+  threads_per_rank : int;
+  scaling : scaling;
+  node_counts : int list;  (** the paper's sweep for this app *)
+  footprint_per_rank : nodes:int -> local_rank:int -> int;
+      (** bytes of anonymous working set each rank maps at start-up;
+          may vary per local rank (domain imbalance) *)
+  heap_per_rank : int;
+      (** expected peak heap per rank (feeds MCDRAM-sharing quotas;
+          actual heap behaviour comes from the [trace]) *)
+  shm_bytes_per_rank : int;  (** MPI intra-node window size *)
+  iteration : nodes:int -> phase list;
+  iterations : int;  (** real iteration count (extrapolated) *)
+  sim_iterations : int;  (** iterations actually simulated *)
+  trace : (nodes:int -> iteration:int -> Mk_kernel.Workload.op list) option;
+      (** per-iteration node-tier operations (heap churn à la Lulesh);
+          [iteration] = -1 requests the setup prologue *)
+  work_per_iteration : nodes:int -> float;
+      (** job-wide work per iteration, in [fom_unit]-seconds *)
+  fom_unit : string;
+  linux_ddr_only : bool;
+      (** the paper ran the Linux baseline out of DDR4 only (CCS-QCD,
+          Section III-B) *)
+}
+
+val phases_pp : Format.formatter -> phase -> unit
+
+val fom : t -> nodes:int -> total_time:Mk_engine.Units.time -> float
+(** Figure of merit: work·iterations / seconds. *)
+
+val allreduce_count : phase list -> int
+val internode_messages : phase list -> int

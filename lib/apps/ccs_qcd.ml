@@ -1,0 +1,36 @@
+open Kernels
+
+let app =
+  {
+    App.name = "CCS-QCD";
+    ranks_per_node = 4;
+    threads_per_rank = 32;
+    scaling = App.Weak;
+    node_counts = weak_counts;
+    (* ~22 GB per node, imbalanced ±15% across the four ranks. *)
+    footprint_per_rank =
+      (fun ~nodes ~local_rank ->
+        imbalanced_footprint
+          ~base:(5 * gib + (512 * mib))
+          ~spread:0.15 ~nodes ~local_rank);
+    heap_per_rank = 0;
+    shm_bytes_per_rank = 32 * mib;
+    iteration =
+      (fun ~nodes:_ ->
+        (* One BiCGStab bundle of the clover solver: the hopping-term
+           stencil is flop-heavy on KNL's wide vectors, with roughly a
+           quarter of the time in bandwidth-bound sweeps — the part
+           the MCDRAM spill accelerates. *)
+        App.Cpu (Mk_engine.Units.of_ms 70.0)
+        :: cg_bundle
+             ~stream:(950 * mib)
+             ~dots:8
+             ~halo_bytes:(2 * mib)
+             ~neighbors:8 ~msgs_per_node:24 ~yields:16 ());
+    iterations = 120;
+    sim_iterations = 8;
+    trace = None;
+    work_per_iteration = (fun ~nodes -> weak_work ~per_node:1.0e6 ~nodes);
+    fom_unit = "Mflops/s/node";
+    linux_ddr_only = true;
+  }

@@ -1,0 +1,13 @@
+(** CCS-QCD — lattice QCD with clover fermions (Fiber miniapp).
+
+    The paper's memory-hierarchy stress case: "we chose a large
+    problem size that does not fit into MCDRAM" (Section III-C).
+    4 ranks × 32 threads per node, ~22 GB per node against 16 GB of
+    MCDRAM.  The LWKs allocate MCDRAM until it runs out and spill to
+    DDR4 transparently; Linux in SNC-4 mode cannot express that
+    policy, so the paper ran it out of DDR4 — hence Figure 5a's up to
+    39% (McKernel) and 28% (mOS) wins.  Rank footprints are
+    imbalanced, which is why McKernel's demand-paging fallback packs
+    MCDRAM better than mOS's upfront per-rank division (Section IV). *)
+
+val app : App.t

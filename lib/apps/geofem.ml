@@ -1,0 +1,24 @@
+open Kernels
+
+let app =
+  {
+    App.name = "GeoFEM";
+    ranks_per_node = 64;
+    threads_per_rank = 1;
+    scaling = App.Weak;
+    node_counts = weak_counts;
+    footprint_per_rank = uniform_footprint (140 * mib);
+    heap_per_rank = 0;
+    shm_bytes_per_rank = 16 * mib;
+    iteration =
+      (fun ~nodes:_ ->
+        cg_bundle ~stream:(110 * mib) ~dots:6
+          ~halo_bytes:(24 * 1024)
+          ~neighbors:6 ~msgs_per_node:64 ~yields:12 ());
+    iterations = 150;
+    sim_iterations = 12;
+    trace = None;
+    work_per_iteration = (fun ~nodes -> weak_work ~per_node:1.0e6 ~nodes);
+    fom_unit = "FOM/s";
+    linux_ddr_only = false;
+  }

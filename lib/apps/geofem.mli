@@ -1,0 +1,6 @@
+(** GeoFEM — parallel iterative solver with selective-blocking
+    preconditioning for nonlinear contact problems (Earth Simulator
+    heritage).  Weak-scaled ICCG: bandwidth-bound SpMV sweeps,
+    a handful of dot-product reductions, small halos. *)
+
+val app : App.t

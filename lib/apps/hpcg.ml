@@ -1,0 +1,26 @@
+open Kernels
+
+let app =
+  {
+    App.name = "HPCG";
+    ranks_per_node = 16;
+    threads_per_rank = 4;
+    scaling = App.Weak;
+    node_counts = weak_counts;
+    footprint_per_rank = uniform_footprint (700 * mib);
+    heap_per_rank = 0;
+    shm_bytes_per_rank = 16 * mib;
+    iteration =
+      (fun ~nodes:_ ->
+        cg_bundle
+          ~stream:(520 * mib)
+          ~dots:4
+          ~halo_bytes:(144 * 1024)
+          ~neighbors:6 ~msgs_per_node:36 ~yields:8 ());
+    iterations = 60;
+    sim_iterations = 10;
+    trace = None;
+    work_per_iteration = (fun ~nodes -> weak_work ~per_node:1.0e6 ~nodes);
+    fom_unit = "Gflops";
+    linux_ddr_only = false;
+  }

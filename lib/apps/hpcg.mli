@@ -1,0 +1,7 @@
+(** HPCG — the high-performance conjugate-gradient benchmark:
+    multigrid-preconditioned CG over a 27-point stencil.
+    Weak-scaled, 16 ranks × 4 threads, bandwidth-dominated with a few
+    global reductions per iteration and medium halos (which cross the
+    NIC's eager threshold, so its control syscalls show up). *)
+
+val app : App.t

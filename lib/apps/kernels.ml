@@ -1,0 +1,23 @@
+let mib = 1024 * 1024
+let gib = 1024 * mib
+
+let weak_counts = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048 ]
+let lammps_counts = [ 16; 32; 64; 128; 256; 512; 1024; 2048 ]
+let cube_counts = [ 1; 8; 27; 64; 125; 216; 343; 512; 729; 1000; 1331; 1728 ]
+
+let cg_bundle ~stream ~dots ~halo_bytes ~neighbors ~msgs_per_node ?(yields = 0) () =
+  [
+    App.Stream stream;
+    App.Allreduce { bytes = 16; count = dots };
+    App.Halo { bytes = halo_bytes; neighbors; msgs_per_node };
+  ]
+  @ (if yields > 0 then [ App.Yields yields ] else [])
+
+let uniform_footprint bytes ~nodes:_ ~local_rank:_ = bytes
+
+let imbalanced_footprint ~base ~spread ~nodes:_ ~local_rank =
+  (* Deterministic ±spread pattern with zero mean over 4 ranks. *)
+  let factors = [| 1.0 +. spread; 1.0 -. spread; 1.0 +. (spread /. 2.0); 1.0 -. (spread /. 2.0) |] in
+  int_of_float (float_of_int base *. factors.(local_rank mod 4))
+
+let weak_work ~per_node ~nodes = per_node *. float_of_int nodes

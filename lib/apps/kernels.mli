@@ -1,0 +1,38 @@
+(** Shared phase-building helpers for the application models. *)
+
+val mib : int
+val gib : int
+
+val weak_counts : int list
+(** 1, 2, 4, …, 2048 — the node counts of Figure 4. *)
+
+val lammps_counts : int list
+(** 16 … 2048 (Figure 6b starts at 16). *)
+
+val cube_counts : int list
+(** 1, 8, 27, …, 1728 — Lulesh's cubic node counts (Figure 6a). *)
+
+val cg_bundle :
+  stream:int ->
+  dots:int ->
+  halo_bytes:int ->
+  neighbors:int ->
+  msgs_per_node:int ->
+  ?yields:int ->
+  unit ->
+  App.phase list
+(** The conjugate-gradient iteration shape shared by half the suite:
+    a bandwidth-bound sweep, a few tiny allreduces (dot products),
+    a nearest-neighbour halo, some busy-wait yields. *)
+
+val uniform_footprint : int -> nodes:int -> local_rank:int -> int
+(** Same footprint for every rank (weak scaling). *)
+
+val imbalanced_footprint :
+  base:int -> spread:float -> nodes:int -> local_rank:int -> int
+(** Rank footprints alternating ±[spread] around [base] — the
+    domain-decomposition imbalance that lets McKernel's global
+    MCDRAM pool beat mOS's upfront per-rank division (Section IV). *)
+
+val weak_work : per_node:float -> nodes:int -> float
+(** Work per iteration proportional to node count. *)

@@ -1,0 +1,33 @@
+open Kernels
+
+let app =
+  {
+    App.name = "LAMMPS";
+    ranks_per_node = 64;
+    threads_per_rank = 2;
+    scaling = App.Weak;
+    node_counts = lammps_counts;
+    footprint_per_rank = uniform_footprint (60 * mib);
+    heap_per_rank = 0;
+    shm_bytes_per_rank = 8 * mib;
+    iteration =
+      (fun ~nodes:_ ->
+        [
+          (* Force computation: pair interactions are CPU-heavy with
+             a modest neighbour-list sweep. *)
+          App.Cpu (Mk_engine.Units.of_ms 2.4);
+          App.Stream (18 * mib);
+          (* Ghost-atom exchange every step: the surface ranks of the
+             node push ~350 KB rendezvous messages.  Global
+             reductions (thermo output) only run every ~100 steps,
+             so a timestep's only synchronisation is with its
+             neighbours. *)
+          App.Halo { bytes = 128 * 1024; neighbors = 6; msgs_per_node = 900 };
+        ]);
+    iterations = 100;
+    sim_iterations = 10;
+    trace = None;
+    work_per_iteration = (fun ~nodes:_ -> 1.0);
+    fom_unit = "timesteps/s";
+    linux_ddr_only = false;
+  }

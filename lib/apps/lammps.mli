@@ -1,0 +1,14 @@
+(** LAMMPS — molecular dynamics, Lennard-Jones weak-scaling deck
+    (lj.weak.4x2x2x7900), 64 ranks × 2 threads.
+
+    The suite's communication-heavy compute-bound member and the one
+    workload where "neither mOS nor McKernel performed better than
+    Linux at scale": every timestep exchanges ghost atoms with all
+    neighbours, and "the Intel Omni-Path network involves system
+    calls for certain operations … This introduces extra latency and
+    drop in network bandwidth when running on McKernel, because
+    system calls on device files are offloaded to Linux" (Section
+    IV).  The many rendezvous messages per node per step funnel their
+    control syscalls through the few Linux cores. *)
+
+val app : App.t

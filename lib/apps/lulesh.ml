@@ -1,0 +1,42 @@
+open Kernels
+
+let trace_scale = (50.0 /. 30.0) ** 3.0
+
+let app =
+  {
+    App.name = "Lulesh2.0";
+    ranks_per_node = 64;
+    threads_per_rank = 2;
+    scaling = App.Weak;
+    node_counts = cube_counts;
+    (* Persistent mesh arrays live in ordinary mappings; the churn
+       goes through the heap trace below. *)
+    footprint_per_rank = uniform_footprint (110 * mib);
+    heap_per_rank = int_of_float (trace_scale *. float_of_int (85 * mib));
+    shm_bytes_per_rank = 12 * mib;
+    iteration =
+      (fun ~nodes:_ ->
+        [
+          (* Shock-hydro element kernels are compute-heavy; the
+             gather/scatter sweeps are the bandwidth-bound part. *)
+          App.Cpu (Mk_engine.Units.of_ms 350.0);
+          App.Stream (95 * mib);
+          (* dt is a global min-reduction every step. *)
+          App.Allreduce { bytes = 8; count = 1 };
+          (* 26-neighbour exchange of face/edge/corner ghosts. *)
+          App.Halo { bytes = 180 * 1024; neighbors = 26; msgs_per_node = 120 };
+        ]);
+    iterations = Lulesh_trace.iterations;
+    sim_iterations = 10;
+    trace =
+      Some
+        (fun ~nodes:_ ~iteration ->
+          if iteration < 0 then Lulesh_trace.setup ~scale:trace_scale
+          else Lulesh_trace.iteration ~scale:trace_scale ~iteration);
+    work_per_iteration =
+      (fun ~nodes ->
+        (* zones per job: 50³ per rank, 64 ranks per node. *)
+        float_of_int (50 * 50 * 50 * 64 * nodes));
+    fom_unit = "zones/s";
+    linux_ddr_only = false;
+  }

@@ -1,0 +1,17 @@
+(** Lulesh 2.0 — Livermore unstructured shock hydrodynamics,
+    [-s 50], 64 ranks × 2 threads, cubic node counts (Figure 6a).
+
+    The heap-management showcase: "The significant performance
+    improvement of Lulesh 2.0 … comes from the overhead of the brk()
+    system call" (Section IV).  Every timestep allocates and frees
+    ~30 MB of temporaries through brk; under Linux each round trip
+    releases the pages and the regrowth faults and re-zeroes them,
+    while the LWKs keep the memory mapped and take the fast path.
+    The replayed trace reproduces the paper's call counts exactly
+    (see {!Lulesh_trace}). *)
+
+val app : App.t
+
+val trace_scale : float
+(** Size multiplier from the profiled [-s 30] trace to the measured
+    [-s 50] runs: (50/30)³. *)

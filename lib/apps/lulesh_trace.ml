@@ -1,0 +1,72 @@
+open Mk_kernel
+
+let iterations = 750
+
+let mib = 1024 * 1024
+
+(* Per-iteration churn: 10 sbrk(0) queries, 4 grows totalling
+   ~29.9 MiB of temporaries, 2 shrinks giving them back (the last
+   timestep leaves its temporaries for process exit: 1 shrink).
+   Setup: 26 queries and 28 grows building a 55 MiB persistent heap.
+   Totals: queries 26 + 750*10 = 7,526; grows 28 + 750*4 = 3,028;
+   shrinks 749*2 + 1 = 1,499.  Peak = 55 + 30 ≈ 85 MiB; cumulative
+   growth = 55 MiB + 750 * 29.9 MiB ≈ 22 GB. *)
+
+let scaled scale bytes = int_of_float (scale *. float_of_int bytes)
+
+let setup ~scale =
+  let persistent_total = scaled scale (55 * mib) in
+  let chunk = persistent_total / 28 in
+  let queries = List.init 26 (fun _ -> Workload.Brk 0) in
+  let grows =
+    List.concat_map
+      (fun _ -> [ Workload.Brk chunk; Workload.Touch_heap ])
+      (List.init 28 (fun i -> i))
+  in
+  queries @ grows
+
+let iteration_grows = 4
+let iteration_queries = 10
+let iteration_temp_bytes = 31_404_032 (* ≈ 29.95 MiB, split over 4 grows *)
+
+let iteration ~scale ~iteration:i =
+  if i < 0 || i >= iterations then
+    invalid_arg (Printf.sprintf "Lulesh_trace.iteration: %d outside [0,%d)" i iterations);
+  let temp = scaled scale iteration_temp_bytes in
+  let grow = temp / iteration_grows in
+  let queries = List.init iteration_queries (fun _ -> Workload.Brk 0) in
+  let grows =
+    List.concat_map
+      (fun _ -> [ Workload.Brk grow; Workload.Touch_heap ])
+      (List.init iteration_grows (fun k -> k))
+  in
+  let shrink_total = grow * iteration_grows in
+  let shrinks =
+    if i = iterations - 1 then [ Workload.Brk (-shrink_total) ]
+    else
+      [
+        Workload.Brk (-(shrink_total / 2));
+        Workload.Brk (-(shrink_total - (shrink_total / 2)));
+      ]
+  in
+  queries @ grows @ shrinks
+
+let full_trace ~scale =
+  setup ~scale
+  @ List.concat_map
+      (fun i -> iteration ~scale ~iteration:i)
+      (List.init iterations (fun i -> i))
+
+let expected_queries = 7_526
+let expected_grows = 3_028
+let expected_shrinks = 1_499
+
+let count_stats ops =
+  List.fold_left
+    (fun (q, g, s) op ->
+      match op with
+      | Workload.Brk 0 -> (q + 1, g, s)
+      | Workload.Brk d when d > 0 -> (q, g + 1, s)
+      | Workload.Brk _ -> (q, g, s + 1)
+      | _ -> (q, g, s))
+    (0, 0, 0) ops

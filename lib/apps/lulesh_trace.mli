@@ -1,0 +1,40 @@
+(** The Lulesh 2.0 heap-allocation trace of Section IV.
+
+    Profiling Lulesh with [-s 30] showed "7,526 queries – calling
+    sbrk() with a value of 0 – 3,028 expansion requests, and 1,499
+    requests for contraction for a total of about 12,000 calls to
+    brk() … At its largest, the heap grew to 87 MB, but … the
+    cumulative amount of memory requested was 22 GB."
+
+    This module regenerates a trace with exactly those call counts:
+    a setup prologue that establishes the persistent arrays, then
+    per-iteration temporary-array churn (grow, use, shrink) that
+    Linux pays for with page faults every iteration while the LWKs,
+    ignoring the shrink, take the fast path. *)
+
+val iterations : int
+(** 750 timesteps for the [-s 30] problem. *)
+
+val setup : scale:float -> Mk_kernel.Workload.op list
+(** Persistent allocations (prologue). [scale] multiplies all sizes:
+    1.0 reproduces [-s 30]; [(50/30)^3 ≈ 4.63] models [-s 50]. *)
+
+val iteration : scale:float -> iteration:int -> Mk_kernel.Workload.op list
+(** Temporary churn of one timestep. *)
+
+val full_trace : scale:float -> Mk_kernel.Workload.op list
+(** Prologue plus all iterations, concatenated. *)
+
+(** {1 Aggregate statistics of the s=30 trace} *)
+
+val expected_queries : int
+(** 7,526 *)
+
+val expected_grows : int
+(** 3,028 *)
+
+val expected_shrinks : int
+(** 1,499 *)
+
+val count_stats : Mk_kernel.Workload.op list -> int * int * int
+(** (queries, grows, shrinks) in a trace. *)

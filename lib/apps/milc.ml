@@ -1,0 +1,28 @@
+open Kernels
+
+let app =
+  {
+    App.name = "MILC";
+    ranks_per_node = 64;
+    threads_per_rank = 1;
+    scaling = App.Weak;
+    node_counts = weak_counts;
+    footprint_per_rank = uniform_footprint (120 * mib);
+    heap_per_rank = 0;
+    shm_bytes_per_rank = 16 * mib;
+    iteration =
+      (fun ~nodes:_ ->
+        [
+          App.Stream (70 * mib);
+          (* CG inner loop: a reduction every few matrix applies. *)
+          App.Allreduce { bytes = 16; count = 24 };
+          App.Halo { bytes = 48 * 1024; neighbors = 8; msgs_per_node = 96 };
+          App.Yields 24;
+        ]);
+    iterations = 200;
+    sim_iterations = 10;
+    trace = None;
+    work_per_iteration = (fun ~nodes -> weak_work ~per_node:1.0e6 ~nodes);
+    fom_unit = "FOM/s";
+    linux_ddr_only = false;
+  }

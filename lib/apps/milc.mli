@@ -1,0 +1,8 @@
+(** MILC — lattice QCD (su3_rmd).  Weak-scaled, bandwidth-bound,
+    and the suite's most reduction-hungry member: the CG solver for
+    the fermion force fires tiny allreduces continuously.  That makes
+    it the second-strongest amplifier of OS jitter after MiniFE —
+    the Figure 4 markers for MILC run off the clipped axis at large
+    node counts. *)
+
+val app : App.t

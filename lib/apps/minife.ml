@@ -1,0 +1,45 @@
+open Kernels
+
+let total_rows = 660 * 660 * 660
+
+(* 27-point stencil in double precision: matrix + CG vectors come to
+   ~350 bytes per row. *)
+let bytes_per_row = 350
+
+let total_bytes = total_rows * bytes_per_row
+
+let app =
+  {
+    App.name = "MiniFE";
+    ranks_per_node = 64;
+    threads_per_rank = 4;
+    scaling = App.Strong;
+    node_counts = weak_counts;
+    footprint_per_rank =
+      (fun ~nodes ~local_rank:_ -> max (4 * mib) (total_bytes / (64 * nodes)));
+    heap_per_rank = 0;
+    shm_bytes_per_rank = 16 * mib;
+    iteration =
+      (fun ~nodes ->
+        let per_rank = max (2 * mib) (total_bytes / (64 * nodes)) in
+        let surface =
+          (* Halo surface shrinks with the 2/3 power of the block. *)
+          max 2048
+            (int_of_float (8.0 *. (float_of_int (total_rows / (64 * nodes)) ** (2.0 /. 3.0))))
+        in
+        [
+          App.Stream per_rank;
+          App.Allreduce { bytes = 16; count = 3 };
+          App.Halo { bytes = surface; neighbors = 6; msgs_per_node = 72 };
+          App.Yields 150;
+        ]);
+    iterations = 200;
+    sim_iterations = 12;
+    trace = None;
+    work_per_iteration =
+      (fun ~nodes:_ ->
+        (* 2 flops per nonzero, 27 nonzeros per row, in Mflops. *)
+        2.0 *. 27.0 *. float_of_int total_rows /. 1.0e6);
+    fom_unit = "Mflops";
+    linux_ddr_only = false;
+  }

@@ -1,0 +1,18 @@
+(** MiniFE — implicit finite-element proxy (Mantevo), 660×660×660,
+    64 ranks × 4 threads, strong-scaled — the only strong-scaled
+    member of the suite (Section III-B).
+
+    "MiniFE stands out as the application that ran almost seven
+    times faster on the LWK than on Linux on 1,024 nodes … that
+    apparent performance gain is actually due to Linux performance
+    dropping precariously … MiniFE is sensitive to the performance
+    of MPI collective operations; e.g., MPI_Allreduce(), which
+    typically benefit from jitter-less operating system kernels"
+    (Section III-C).  Strong scaling shrinks the per-rank compute
+    between reductions until the collective — and therefore the
+    slowest straggler of 131,072 ranks — is everything. *)
+
+val app : App.t
+
+val total_rows : int
+(** 660³. *)

@@ -1,0 +1,31 @@
+let fig4 =
+  [ Amg.app; Ccs_qcd.app; Geofem.app; Hpcg.app; Lammps.app; Milc.app; Minife.app ]
+
+let all = fig4 @ [ Lulesh.app ]
+
+let normalise s = String.lowercase_ascii (String.trim s)
+
+let aliases =
+  [
+    ("amg", "AMG2013");
+    ("amg2013", "AMG2013");
+    ("ccs-qcd", "CCS-QCD");
+    ("ccsqcd", "CCS-QCD");
+    ("qcd", "CCS-QCD");
+    ("geofem", "GeoFEM");
+    ("hpcg", "HPCG");
+    ("lammps", "LAMMPS");
+    ("milc", "MILC");
+    ("minife", "MiniFE");
+    ("lulesh", "Lulesh2.0");
+    ("lulesh2.0", "Lulesh2.0");
+  ]
+
+let find name =
+  let n = normalise name in
+  let target =
+    match List.assoc_opt n aliases with Some t -> t | None -> name
+  in
+  List.find_opt (fun (a : App.t) -> normalise a.App.name = normalise target) all
+
+let names = List.map (fun (a : App.t) -> a.App.name) all

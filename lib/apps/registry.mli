@@ -1,0 +1,13 @@
+(** All application models, in the order of Figure 4. *)
+
+val all : App.t list
+(** The seven Figure-4 applications plus Lulesh 2.0 (plotted
+    separately because of its cubic node counts). *)
+
+val fig4 : App.t list
+(** AMG2013, CCS-QCD, GeoFEM, HPCG, LAMMPS, MILC, MiniFE. *)
+
+val find : string -> App.t option
+(** Case-insensitive lookup by name or common alias. *)
+
+val names : string list

@@ -1,0 +1,142 @@
+type row = { name : string; value : float; unit_ : string; provenance : string }
+
+let f = float_of_int
+
+let all =
+  let fault = Mk_mem.Fault.default in
+  [
+    {
+      name = "mcdram-stream-bandwidth";
+      value = Mk_hw.Memory_kind.stream_bandwidth Mk_hw.Memory_kind.Mcdram;
+      unit_ = "B/ns";
+      provenance = "published KNL flat-mode STREAM, ~480 GB/s";
+    };
+    {
+      name = "ddr4-stream-bandwidth";
+      value = Mk_hw.Memory_kind.stream_bandwidth Mk_hw.Memory_kind.Ddr4;
+      unit_ = "B/ns";
+      provenance = "published KNL DDR4 STREAM, ~90 GB/s";
+    };
+    {
+      name = "mcdram-load-latency";
+      value = f (Mk_hw.Memory_kind.load_latency Mk_hw.Memory_kind.Mcdram);
+      unit_ = "ns";
+      provenance = "KNL idle latency measurements (~170 ns; above DDR4)";
+    };
+    {
+      name = "fault-trap";
+      value = f fault.Mk_mem.Fault.trap;
+      unit_ = "ns";
+      provenance = "anonymous-fault kernel entry on a 1.4 GHz KNL core";
+    };
+    {
+      name = "fault-zero-bandwidth";
+      value = fault.Mk_mem.Fault.zero_bandwidth;
+      unit_ = "B/ns";
+      provenance = "single-thread memset on a KNL core";
+    };
+    {
+      name = "fault-contention-slope";
+      value = fault.Mk_mem.Fault.contention;
+      unit_ = "fraction/faulter";
+      provenance = "mm-lock contention; motivates --mpol-shm-premap (§IV)";
+    };
+    {
+      name = "tlb-overhead-4k";
+      value = Mk_mem.Page.tlb_overhead Mk_mem.Page.Small;
+      unit_ = "x";
+      provenance = "4K-vs-hugepage STREAM deltas on KNL";
+    };
+    {
+      name = "syscall-entry";
+      value = f Mk_syscall.Cost.entry;
+      unit_ = "ns";
+      provenance = "syscall/sysret on KNL's slow cores";
+    };
+    {
+      name = "proxy-wakeup";
+      value =
+        (match Mk_ikc.Offload.default_proxy with
+        | Mk_ikc.Offload.Proxy { wakeup } -> f wakeup
+        | Mk_ikc.Offload.Migration _ -> 0.0);
+      unit_ = "ns";
+      provenance = "IPI + Linux scheduler wake of a blocked proxy thread";
+    };
+    {
+      name = "migration-handoff";
+      value =
+        (match Mk_ikc.Offload.default_migration with
+        | Mk_ikc.Offload.Migration { handoff; _ } -> f handoff
+        | Mk_ikc.Offload.Proxy _ -> 0.0);
+      unit_ = "ns";
+      provenance = "mOS run-queue hand-off (one way)";
+    };
+    {
+      name = "fabric-base-latency";
+      value = f Mk_fabric.Fabric.base_latency;
+      unit_ = "ns";
+      provenance = "Omni-Path nearest-neighbour MPI latency ~1 us";
+    };
+    {
+      name = "fabric-wire-bandwidth";
+      value = Mk_fabric.Nic.wire_bandwidth;
+      unit_ = "B/ns";
+      provenance = "100 Gb/s Omni-Path link";
+    };
+    {
+      name = "nic-eager-threshold";
+      value = f (Mk_fabric.Nic.eager_threshold (Mk_fabric.Nic.make ()));
+      unit_ = "B";
+      provenance = "PSM2 eager/rendezvous switch; rendezvous needs syscalls (§IV)";
+    };
+    {
+      name = "shm-copy-bandwidth";
+      value = Mk_mpi.Shm.copy_bandwidth;
+      unit_ = "B/ns";
+      provenance = "single-pair shared-memory copy on KNL";
+    };
+    {
+      name = "shm-latency";
+      value = f Mk_mpi.Shm.latency;
+      unit_ = "ns";
+      provenance = "intra-node MPI message latency";
+    };
+    {
+      name = "linux-nohz-noise";
+      value = 100.0 *. Mk_noise.Profile.total_overhead Mk_noise.Profile.linux_nohz_full;
+      unit_ = "%";
+      provenance = "residual kworker/IRQ/daemon-spill under nohz_full";
+    };
+    {
+      name = "mos-lwk-noise";
+      value = 100.0 *. Mk_noise.Profile.total_overhead Mk_noise.Profile.mos_lwk;
+      unit_ = "%";
+      provenance = "rare stray Linux tasks on mOS LWK cores (§II-D2)";
+    };
+    {
+      name = "cfs-context-switch";
+      value = f Mk_sched.Cfs.context_switch_cost;
+      unit_ = "ns";
+      provenance = "full CFS reschedule on KNL";
+    };
+    {
+      name = "lwk-context-switch";
+      value = f Mk_sched.Lwk_rr.context_switch_cost;
+      unit_ = "ns";
+      provenance = "cooperative LWK hand-off (§II-D2)";
+    };
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) all
+
+let table () =
+  Mk_engine.Table.render
+    ~header:[ "constant"; "value"; "unit"; "provenance" ]
+    (List.map
+       (fun r ->
+         [ r.name; Printf.sprintf "%.4g" r.value; r.unit_; r.provenance ])
+       all)
+
+let mcdram_ddr_ratio () =
+  Mk_hw.Memory_kind.stream_bandwidth Mk_hw.Memory_kind.Mcdram
+  /. Mk_hw.Memory_kind.stream_bandwidth Mk_hw.Memory_kind.Ddr4

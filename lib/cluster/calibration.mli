@@ -1,0 +1,26 @@
+(** The calibration audit: every cost constant the simulator's
+    results rest on, with value and provenance, in one table.
+
+    A reproduction's credibility lives in its constants.  This module
+    aggregates them from the modules that own them (nothing is
+    duplicated — each row reads the live value), so `bench micro`
+    can print the exact calibration a result set was produced with,
+    and tests can pin the relationships that matter (e.g. the
+    MCDRAM:DDR4 bandwidth ratio) without freezing every number. *)
+
+type row = {
+  name : string;
+  value : float;
+  unit_ : string;
+  provenance : string;  (** where the number comes from *)
+}
+
+val all : row list
+
+val find : string -> row option
+
+val table : unit -> string
+(** Rendered table of every constant. *)
+
+val mcdram_ddr_ratio : unit -> float
+(** The load-bearing ratio behind Figure 5a. *)

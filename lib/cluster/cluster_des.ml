@@ -1,0 +1,140 @@
+open Mk_engine
+
+type result = { completion : Units.time; messages : int }
+
+(* Both formulations share the same tree and the same edge pricing so
+   that the silent-profile case agrees bit for bit. *)
+let edge_cost fabric ~src ~dst ~bytes =
+  Mk_fabric.Fabric.wire_time fabric ~src ~dst ~bytes
+
+let intra_halves ~ranks_per_node ~bytes =
+  let intra = Mk_mpi.Shm.intra_allreduce ~ranks:ranks_per_node ~bytes in
+  (intra / 2, intra - (intra / 2))
+
+(* Reduce/broadcast round structure of Mk_mpi.Collective.allreduce:
+   in reduce round k (1,2,4,...), node i with i mod 2k = 0 receives
+   from i+k; broadcast reverses. *)
+let reduce_rounds nodes =
+  let rec go k acc = if k < nodes then go (2 * k) (k :: acc) else acc in
+  List.rev (go 1 [])
+
+let allreduce_loop ~nodes ~ranks_per_node ~threads_per_rank ~window ~iterations
+    ~bytes ~profile ~fabric ~seed =
+  if nodes <= 0 || iterations <= 0 then
+    invalid_arg "Cluster_des.allreduce_loop: positive sizes required";
+  let stragglers = ranks_per_node * threads_per_rank in
+  let rngs = Array.init nodes (fun n -> Rng.split (Rng.create (seed * 7919)) (1000 + n)) in
+  let half1, half2 = intra_halves ~ranks_per_node ~bytes in
+  let rounds = reduce_rounds nodes in
+  let sim = Sim.create () in
+  let messages = ref 0 in
+  (* Per-node time at which the current iteration step completed; the
+     DES threads these through events rather than array sweeps. *)
+  let exit_time = Array.make nodes 0 in
+  (* One iteration: driven recursively; [starts.(i)] is when node i may
+     begin its compute window. *)
+  let rec iteration iter starts =
+    if iter < iterations then begin
+      (* ready.(i): when node i finished local reduce and may take
+         part in internode rounds; filled per round below. *)
+      let ready = Array.make nodes 0 in
+      let pending = ref nodes in
+      let after_arrivals sim =
+        (* All arrival events fired; run the tree with message events. *)
+        let rec run_reduce remaining sim =
+          match remaining with
+          | [] -> run_broadcast (List.rev rounds) sim
+          | k :: rest ->
+              (* All pairs of this round exchange concurrently; the
+                 round completes when the last message lands. *)
+              let outstanding = ref 0 in
+              let i = ref 0 in
+              while !i < nodes do
+                let recv = !i and send = !i + k in
+                if send < nodes then begin
+                  incr outstanding;
+                  incr messages;
+                  let arrival =
+                    ready.(send) + edge_cost fabric ~src:send ~dst:recv ~bytes
+                  in
+                  ignore
+                    (Sim.schedule sim ~at:(max (Sim.now sim) arrival) (fun sim ->
+                         ready.(recv) <- max ready.(recv) arrival;
+                         decr outstanding;
+                         if !outstanding = 0 then run_reduce rest sim))
+                end;
+                i := !i + (2 * k)
+              done;
+              if !outstanding = 0 then run_reduce rest sim
+        and run_broadcast remaining sim =
+          match remaining with
+          | [] ->
+              Array.iteri (fun n t -> exit_time.(n) <- t + half2) ready;
+              iteration (iter + 1) (Array.copy exit_time)
+          | k :: rest ->
+              let outstanding = ref 0 in
+              let i = ref 0 in
+              while !i < nodes do
+                let send = !i and recv = !i + k in
+                if recv < nodes then begin
+                  incr outstanding;
+                  incr messages;
+                  let arrival =
+                    ready.(send) + edge_cost fabric ~src:send ~dst:recv ~bytes
+                  in
+                  ignore
+                    (Sim.schedule sim ~at:(max (Sim.now sim) arrival) (fun sim ->
+                         ready.(recv) <- max ready.(recv) arrival;
+                         decr outstanding;
+                         if !outstanding = 0 then run_broadcast rest sim))
+                end;
+                i := !i + (2 * k)
+              done;
+              if !outstanding = 0 then run_broadcast rest sim
+        in
+        run_reduce rounds sim
+      in
+      (* Arrival events: compute window + straggler delay + local
+         reduce half. *)
+      Array.iteri
+        (fun n start ->
+          let skew =
+            Mk_noise.Injector.max_delay profile rngs.(n) ~dur:window
+              ~ranks:stragglers
+          in
+          let at = start + window + skew + half1 in
+          ignore
+            (Sim.schedule sim ~at:(max (Sim.now sim) at) (fun sim ->
+                 ready.(n) <- at;
+                 decr pending;
+                 if !pending = 0 then after_arrivals sim)))
+        starts
+    end
+  in
+  iteration 0 (Array.make nodes 0);
+  Sim.run sim;
+  { completion = Array.fold_left max 0 exit_time; messages = !messages }
+
+let analytic_allreduce_loop ~nodes ~ranks_per_node ~threads_per_rank ~window
+    ~iterations ~bytes ~profile ~fabric ~seed =
+  let stragglers = ranks_per_node * threads_per_rank in
+  let rngs = Array.init nodes (fun n -> Rng.split (Rng.create (seed * 7919)) (1000 + n)) in
+  let env =
+    {
+      Mk_mpi.Collective.fabric;
+      syscall_cost = (fun _ -> 0);
+      intra_ranks = ranks_per_node;
+    }
+  in
+  let clocks = Array.make nodes 0 in
+  for _ = 1 to iterations do
+    Array.iteri
+      (fun n c ->
+        let skew =
+          Mk_noise.Injector.max_delay profile rngs.(n) ~dur:window ~ranks:stragglers
+        in
+        clocks.(n) <- c + window + skew)
+      clocks;
+    Mk_mpi.Collective.allreduce env ~clocks ~bytes
+  done;
+  Array.fold_left max 0 clocks

@@ -1,0 +1,47 @@
+(** Event-driven cross-validation of the analytic cluster tier.
+
+    {!Driver} advances per-node clocks through max-plus formulas; this
+    module executes the same iteration structure — compute window,
+    per-node straggler delay, binomial-tree allreduce over the fabric
+    — as an actual discrete-event simulation: every internode message
+    is a scheduled event, every node a small state machine, and nodes
+    desynchronise and resynchronise naturally across iterations.
+
+    With a silent noise profile the two formulations must agree
+    *exactly* (same trees, same edge costs); with noise they must
+    agree statistically.  The test suite pins both properties, which
+    is the evidence that the fast analytic tier computes what the
+    slow event-driven tier would. *)
+
+type result = {
+  completion : Mk_engine.Units.time;  (** last node's exit from the last iteration *)
+  messages : int;  (** internode messages exchanged *)
+}
+
+val allreduce_loop :
+  nodes:int ->
+  ranks_per_node:int ->
+  threads_per_rank:int ->
+  window:Mk_engine.Units.time ->
+  iterations:int ->
+  bytes:int ->
+  profile:Mk_noise.Profile.t ->
+  fabric:Mk_fabric.Fabric.t ->
+  seed:int ->
+  result
+(** Simulate [iterations] of (compute window + straggler delay +
+    allreduce) over [nodes] nodes, event by event. *)
+
+val analytic_allreduce_loop :
+  nodes:int ->
+  ranks_per_node:int ->
+  threads_per_rank:int ->
+  window:Mk_engine.Units.time ->
+  iterations:int ->
+  bytes:int ->
+  profile:Mk_noise.Profile.t ->
+  fabric:Mk_fabric.Fabric.t ->
+  seed:int ->
+  Mk_engine.Units.time
+(** The same loop through {!Mk_mpi.Collective}'s max-plus composition
+    (the Driver's formulation), for comparison. *)

@@ -1,0 +1,58 @@
+type point = {
+  nodes : int;
+  median_fom : float;
+  min_fom : float;
+  max_fom : float;
+  median_result : Driver.result;
+}
+
+type series = { scenario_label : string; points : point list }
+
+let default_runs = 5
+
+let point ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42) () =
+  if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
+  let results =
+    List.init runs (fun i -> Driver.run ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
+  in
+  let sorted =
+    List.sort (fun (a : Driver.result) b -> compare a.Driver.fom b.Driver.fom) results
+  in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let median_result = arr.(n / 2) in
+  {
+    nodes;
+    median_fom = median_result.Driver.fom;
+    min_fom = arr.(0).Driver.fom;
+    max_fom = arr.(n - 1).Driver.fom;
+    median_result;
+  }
+
+let sweep ~scenario ~app ?node_counts ?runs ?seed () =
+  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
+  {
+    scenario_label = scenario.Scenario.label;
+    points = List.map (fun nodes -> point ~scenario ~app ~nodes ?runs ?seed ()) counts;
+  }
+
+let compare_scenarios ~scenarios ~app ?node_counts ?runs ?seed () =
+  List.map (fun scenario -> sweep ~scenario ~app ?node_counts ?runs ?seed ()) scenarios
+
+let relative_to ~baseline series =
+  List.filter_map
+    (fun p ->
+      match List.find_opt (fun b -> b.nodes = p.nodes) baseline.points with
+      | Some b when b.median_fom > 0.0 -> Some (p.nodes, p.median_fom /. b.median_fom)
+      | Some _ | None -> None)
+    series.points
+
+let median_improvement ratio_lists =
+  let all = List.concat ratio_lists |> List.map snd in
+  if all = [] then 1.0 else Mk_engine.Stats.median_of all
+
+let best_improvement ratio_lists =
+  List.fold_left
+    (fun acc (_, r) -> max acc r)
+    neg_infinity
+    (List.concat ratio_lists)

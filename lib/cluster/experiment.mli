@@ -1,0 +1,57 @@
+(** Experiment orchestration: repeated runs, medians, sweeps.
+
+    The paper "ran most applications five times and show[s] the
+    median … error bars indicating the maximum and minimum values"
+    (Section III-C); [point] carries exactly that. *)
+
+type point = {
+  nodes : int;
+  median_fom : float;
+  min_fom : float;
+  max_fom : float;
+  median_result : Driver.result;  (** the run realising the median *)
+}
+
+type series = { scenario_label : string; points : point list }
+
+val default_runs : int
+(** 5, as in the paper. *)
+
+val point :
+  scenario:Scenario.t ->
+  app:Mk_apps.App.t ->
+  nodes:int ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  point
+
+val sweep :
+  scenario:Scenario.t ->
+  app:Mk_apps.App.t ->
+  ?node_counts:int list ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  series
+(** One curve: FOM against node count (defaults to the app's own
+    sweep). *)
+
+val compare_scenarios :
+  scenarios:Scenario.t list ->
+  app:Mk_apps.App.t ->
+  ?node_counts:int list ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  series list
+
+val relative_to :
+  baseline:series -> series -> (int * float) list
+(** Per node count, this series' median FOM over the baseline's. *)
+
+val median_improvement : (int * float) list list -> float
+(** The paper's headline statistic: the median, across every
+    (application × node count) pair, of the LWK-vs-Linux ratio. *)
+
+val best_improvement : (int * float) list list -> float

@@ -1,0 +1,163 @@
+open Mk_engine
+
+let fmt_g v = Printf.sprintf "%.4g" v
+
+let fom_table ~(app : Mk_apps.App.t) series_list =
+  let counts =
+    match series_list with
+    | [] -> []
+    | s :: _ -> List.map (fun (p : Experiment.point) -> p.Experiment.nodes) s.Experiment.points
+  in
+  let header =
+    "nodes"
+    :: List.concat_map
+         (fun (s : Experiment.series) ->
+           [ s.Experiment.scenario_label; "min..max" ])
+         series_list
+  in
+  let rows =
+    List.map
+      (fun nodes ->
+        string_of_int nodes
+        :: List.concat_map
+             (fun (s : Experiment.series) ->
+               match
+                 List.find_opt
+                   (fun (p : Experiment.point) -> p.Experiment.nodes = nodes)
+                   s.Experiment.points
+               with
+               | Some p ->
+                   [
+                     fmt_g p.Experiment.median_fom;
+                     Printf.sprintf "%s..%s" (fmt_g p.Experiment.min_fom)
+                       (fmt_g p.Experiment.max_fom);
+                   ]
+               | None -> [ "-"; "-" ])
+             series_list)
+      counts
+  in
+  Printf.sprintf "%s (%s)\n%s" app.Mk_apps.App.name app.Mk_apps.App.fom_unit
+    (Table.render ~header rows)
+
+let relative_pairs ~baseline series =
+  Experiment.relative_to ~baseline series
+
+let relative_table ~(app : Mk_apps.App.t) ~baseline series_list =
+  let others =
+    List.filter
+      (fun (s : Experiment.series) ->
+        s.Experiment.scenario_label <> baseline.Experiment.scenario_label)
+      series_list
+  in
+  let header =
+    "nodes"
+    :: List.map (fun (s : Experiment.series) -> s.Experiment.scenario_label) others
+  in
+  let counts =
+    List.map (fun (p : Experiment.point) -> p.Experiment.nodes) baseline.Experiment.points
+  in
+  let rows =
+    List.map
+      (fun nodes ->
+        string_of_int nodes
+        :: List.map
+             (fun s ->
+               match List.assoc_opt nodes (relative_pairs ~baseline s) with
+               | Some r -> Printf.sprintf "%.3f" r
+               | None -> "-")
+             others)
+      counts
+  in
+  Printf.sprintf "%s: median performance relative to %s\n%s" app.Mk_apps.App.name
+    baseline.Experiment.scenario_label (Table.render ~header rows)
+
+let relative_chart ~(app : Mk_apps.App.t) ~baseline series_list =
+  let others =
+    List.filter
+      (fun (s : Experiment.series) ->
+        s.Experiment.scenario_label <> baseline.Experiment.scenario_label)
+      series_list
+  in
+  let to_series (s : Experiment.series) =
+    {
+      Table.label = s.Experiment.scenario_label;
+      points =
+        List.map
+          (fun (n, r) -> (float_of_int n, r))
+          (relative_pairs ~baseline s);
+    }
+  in
+  Table.chart ~logx:true
+    ~title:
+      (Printf.sprintf "%s relative to %s (1.0 = parity)" app.Mk_apps.App.name
+         baseline.Experiment.scenario_label)
+    ~ylabel:"relative median performance"
+    (List.map to_series others)
+
+let absolute_chart ~(app : Mk_apps.App.t) series_list =
+  let to_series (s : Experiment.series) =
+    {
+      Table.label = s.Experiment.scenario_label;
+      points =
+        List.map
+          (fun (p : Experiment.point) ->
+            (float_of_int p.Experiment.nodes, p.Experiment.median_fom))
+          s.Experiment.points;
+    }
+  in
+  Table.chart ~logx:true
+    ~title:(Printf.sprintf "%s (%s)" app.Mk_apps.App.name app.Mk_apps.App.fom_unit)
+    ~ylabel:app.Mk_apps.App.fom_unit
+    (List.map to_series series_list)
+
+let csv ~(app : Mk_apps.App.t) series_list =
+  let rows =
+    List.concat_map
+      (fun (s : Experiment.series) ->
+        List.map
+          (fun (p : Experiment.point) ->
+            [
+              app.Mk_apps.App.name;
+              s.Experiment.scenario_label;
+              string_of_int p.Experiment.nodes;
+              fmt_g p.Experiment.median_fom;
+              fmt_g p.Experiment.min_fom;
+              fmt_g p.Experiment.max_fom;
+            ])
+          s.Experiment.points)
+      series_list
+  in
+  Table.csv ~header:[ "app"; "os"; "nodes"; "median"; "min"; "max" ] rows
+
+let json ~(app : Mk_apps.App.t) series_list =
+  let open Mk_engine.Json in
+  let point (p : Experiment.point) =
+    let r = p.Experiment.median_result in
+    Obj
+      [
+        ("nodes", Int p.Experiment.nodes);
+        ("median", Float p.Experiment.median_fom);
+        ("min", Float p.Experiment.min_fom);
+        ("max", Float p.Experiment.max_fom);
+        ("solve_time_ns", Int r.Driver.solve_time);
+        ("setup_time_ns", Int r.Driver.setup_time);
+        ("mcdram_fraction", Float r.Driver.mcdram_fraction);
+        ("faults", Int r.Driver.faults);
+        ("offloads_per_iteration", Int r.Driver.offloads_per_iteration);
+      ]
+  in
+  Obj
+    [
+      ("app", String app.Mk_apps.App.name);
+      ("fom_unit", String app.Mk_apps.App.fom_unit);
+      ( "scenarios",
+        List
+          (List.map
+             (fun (s : Experiment.series) ->
+               Obj
+                 [
+                   ("label", String s.Experiment.scenario_label);
+                   ("points", List (List.map point s.Experiment.points));
+                 ])
+             series_list) );
+    ]

@@ -1,0 +1,28 @@
+(** Rendering experiment output the way the paper presents it. *)
+
+val fom_table : app:Mk_apps.App.t -> Experiment.series list -> string
+(** Node counts down the side, one FOM column (with min–max error
+    range) per scenario. *)
+
+val relative_table :
+  app:Mk_apps.App.t ->
+  baseline:Experiment.series ->
+  Experiment.series list ->
+  string
+(** The Figure-4 view: each scenario's median relative to the
+    baseline per node count. *)
+
+val relative_chart :
+  app:Mk_apps.App.t ->
+  baseline:Experiment.series ->
+  Experiment.series list ->
+  string
+
+val absolute_chart : app:Mk_apps.App.t -> Experiment.series list -> string
+
+val csv : app:Mk_apps.App.t -> Experiment.series list -> string
+
+val json : app:Mk_apps.App.t -> Experiment.series list -> Mk_engine.Json.t
+(** Structured export: per scenario, per point — median/min/max FOM
+    plus the median run's diagnostics (MCDRAM fraction, faults,
+    offloads). *)

@@ -1,0 +1,28 @@
+type t = { label : string; make : unit -> Mk_kernel.Os.t }
+
+let linux = { label = "Linux"; make = (fun () -> Mk_kernel.Linux_os.create ()) }
+
+let mckernel =
+  { label = "McKernel"; make = (fun () -> Mk_kernel.Mckernel.create ()) }
+
+let mos = { label = "mOS"; make = (fun () -> Mk_kernel.Mos.create ()) }
+
+let trio = [ mckernel; mos; linux ]
+
+let mckernel_with options ~label =
+  { label; make = (fun () -> Mk_kernel.Mckernel.create ~options ()) }
+
+let mos_with options ~label =
+  { label; make = (fun () -> Mk_kernel.Mos.create ~options ()) }
+
+let linux_default_noise =
+  {
+    label = "Linux-noisy";
+    make = (fun () -> Mk_kernel.Linux_os.create ~nohz_full:false ());
+  }
+
+let find name =
+  let n = String.lowercase_ascii (String.trim name) in
+  List.find_opt
+    (fun t -> String.lowercase_ascii t.label = n)
+    (trio @ [ linux_default_noise ])

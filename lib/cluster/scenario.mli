@@ -1,0 +1,27 @@
+(** The operating-system configurations under comparison.
+
+    A scenario is a recipe for booting a fresh OS model — fresh,
+    because physical-memory state is mutable and every run must start
+    from a clean node. *)
+
+type t = {
+  label : string;
+  make : unit -> Mk_kernel.Os.t;
+}
+
+val linux : t
+(** The paper's baseline: XPPSL Linux, nohz_full on app cores. *)
+
+val mckernel : t
+val mos : t
+
+val trio : t list
+(** McKernel, mOS, Linux — the comparison of Figure 4. *)
+
+val mckernel_with : Mk_kernel.Os.options -> label:string -> t
+val mos_with : Mk_kernel.Os.options -> label:string -> t
+
+val linux_default_noise : t
+(** Linux without nohz_full — noise-ablation scenario. *)
+
+val find : string -> t option

@@ -1,0 +1,48 @@
+(** A Linux Test Project-like compatibility corpus.
+
+    Section III-D measures Linux compatibility with LTP: of 3,328
+    system-call tests, "McKernel passes all but 32 of them.  For mOS
+    the numbers are more bleak: 111 tests out of 3,328 fail."  The
+    paper itemises the causes: eleven tests exercise combinations of
+    the in-progress move_pages(); one tests "the error behavior of an
+    unusual clone() flag combination"; heap-management optimisation
+    makes the test that "expect[s] a page fault" after a brk shrink
+    fail; "four of the five ptrace() experiments fail" on mOS; and
+    "many of the LTP tests rely on fork() to set up the experiment",
+    which cascades on mOS where "fork() is not fully implemented yet".
+
+    This module generates a deterministic corpus with those counts
+    and mechanisms: each test names a system call, possibly a
+    corner-case tag, and possibly a fork-based setup requirement.
+    Verdicts derive from the kernels' disposition tables plus
+    explicit per-kernel corner-failure lists. *)
+
+type kernel = Linux_k | Mckernel_k | Mos_k
+
+type test = {
+  name : string;
+  sysno : Mk_syscall.Sysno.t;
+  corner : string option;  (** corner-case semantics under test *)
+  needs_fork_setup : bool;
+}
+
+type verdict = Pass | Fail of string
+
+type summary = {
+  total : int;
+  passed : int;
+  failed : int;
+  failures : (test * string) list;
+}
+
+val corpus : test list
+(** The full generated corpus; length 3,328. *)
+
+val run_test : kernel -> test -> verdict
+
+val run_all : kernel -> summary
+
+val kernel_to_string : kernel -> string
+
+val failures_by_cause : summary -> (string * int) list
+(** Failure counts grouped by cause string, descending. *)

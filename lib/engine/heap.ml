@@ -1,0 +1,94 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) () =
+  { data = Array.make (max 1 capacity) (Obj.magic 0); size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Ordering: key first, then insertion sequence for determinism. *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) t.data.(0) in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let push t ~key value =
+  if t.size = Array.length t.data then grow t;
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.data.(!i) <- e;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before t.data.(!i) t.data.(parent) then begin
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+    if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.data.(!smallest) in
+      t.data.(!smallest) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t
+    end;
+    Some (top.key, top.value)
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some kv -> kv
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let to_sorted_list t =
+  let copy =
+    {
+      data = Array.sub t.data 0 (max 1 t.size);
+      size = t.size;
+      next_seq = t.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+  in
+  drain []

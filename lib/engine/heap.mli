@@ -1,0 +1,28 @@
+(** Array-backed binary min-heap keyed by integer priority.
+
+    Used as the backbone of the event queue.  Insertions with equal
+    keys are dequeued in insertion order (the heap carries a sequence
+    number), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+
+val peek : 'a t -> (int * 'a) option
+(** Smallest (key, value), without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the smallest (key, value). *)
+
+val pop_exn : 'a t -> int * 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (int * 'a) list
+(** Non-destructive: all elements in ascending key order. *)

@@ -1,0 +1,21 @@
+(** Minimal JSON construction — enough to export experiment results
+    without external dependencies.  Output is deterministic (fields
+    in insertion order) and properly escaped. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering. *)
+
+val escape : string -> string
+(** JSON string escaping (without the surrounding quotes). *)

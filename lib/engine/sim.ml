@@ -1,0 +1,80 @@
+type event_id = int
+
+type event = { id : event_id; handler : t -> unit }
+
+and t = {
+  mutable clock : Units.time;
+  queue : event Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable next_id : event_id;
+  mutable live : int;
+}
+
+let create () =
+  {
+    clock = 0;
+    queue = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    next_id = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at handler =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %d precedes clock %d" at t.clock);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Heap.push t.queue ~key:at { id; handler };
+  t.live <- t.live + 1;
+  id
+
+let schedule_after t ~delay handler =
+  if delay < 0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.clock + delay) handler
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+      if Hashtbl.mem t.cancelled ev.id then begin
+        Hashtbl.remove t.cancelled ev.id;
+        step t
+      end
+      else begin
+        t.clock <- at;
+        t.live <- t.live - 1;
+        ev.handler t;
+        true
+      end
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (at, _) -> (
+        match until with
+        | Some limit when at > limit ->
+            t.clock <- max t.clock limit;
+            continue := false
+        | _ -> ignore (step t))
+  done
+
+let advance_to t target =
+  if target < t.clock then invalid_arg "Sim.advance_to: target in the past";
+  (match Heap.peek t.queue with
+  | Some (at, _) when at < target ->
+      invalid_arg "Sim.advance_to: pending event precedes target"
+  | _ -> ());
+  t.clock <- target

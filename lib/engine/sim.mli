@@ -1,0 +1,41 @@
+(** Discrete-event simulation core.
+
+    A simulation owns a virtual clock and a priority queue of pending
+    events.  Event handlers receive the simulation and may schedule
+    further events.  Scheduled events can be cancelled; ties on the
+    clock fire in scheduling order, so runs are deterministic. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Units.time
+(** Current virtual time, ns. *)
+
+val schedule : t -> at:Units.time -> (t -> unit) -> event_id
+(** Schedule a handler to fire at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:Units.time -> (t -> unit) -> event_id
+(** Schedule relative to [now]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) events in the queue. *)
+
+val step : t -> bool
+(** Fire the next event; [false] if the queue was empty. *)
+
+val run : ?until:Units.time -> t -> unit
+(** Fire events until the queue drains, or until the clock would pass
+    [until] (events at exactly [until] still fire). *)
+
+val advance_to : t -> Units.time -> unit
+(** Move the clock forward without firing events; only valid when no
+    pending event precedes the target time.
+    @raise Invalid_argument otherwise. *)

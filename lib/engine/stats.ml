@@ -1,0 +1,155 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable mn : float;
+    mutable mx : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; mn = infinity; mx = neg_infinity; total = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x;
+    t.total <- t.total +. x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+  let total t = t.total
+
+  let merge a b =
+    if a.n = 0 then
+      { n = b.n; mean = b.mean; m2 = b.m2; mn = b.mn; mx = b.mx; total = b.total }
+    else if b.n = 0 then
+      { n = a.n; mean = a.mean; m2 = a.m2; mn = a.mn; mx = a.mx; total = a.total }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      {
+        n;
+        mean;
+        m2;
+        mn = Stdlib.min a.mn b.mn;
+        mx = Stdlib.max a.mx b.mx;
+        total = a.total +. b.total;
+      }
+    end
+end
+
+module Sample = struct
+  type t = { mutable data : float array; mutable n : int; mutable sorted : bool }
+
+  let create () = { data = Array.make 16 0.0; n = 0; sorted = true }
+
+  let add t x =
+    if t.n = Array.length t.data then begin
+      let data = Array.make (2 * t.n) 0.0 in
+      Array.blit t.data 0 data 0 t.n;
+      t.data <- data
+    end;
+    t.data.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
+
+  let of_list xs =
+    let t = create () in
+    List.iter (add t) xs;
+    t
+
+  let count t = t.n
+  let values t = Array.sub t.data 0 t.n
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let v = Array.sub t.data 0 t.n in
+      Array.sort compare v;
+      Array.blit v 0 t.data 0 t.n;
+      t.sorted <- true
+    end
+
+  let mean t =
+    if t.n = 0 then 0.0
+    else begin
+      let s = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        s := !s +. t.data.(i)
+      done;
+      !s /. float_of_int t.n
+    end
+
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Stats.Sample.percentile: empty sample";
+    ensure_sorted t;
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then t.data.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
+    end
+
+  let median t = percentile t 50.0
+
+  let minmax t =
+    if t.n = 0 then invalid_arg "Stats.Sample.minmax: empty sample";
+    ensure_sorted t;
+    (t.data.(0), t.data.(t.n - 1))
+end
+
+module Histogram = struct
+  type t = { base : float; counts : int array; mutable n : int }
+
+  let create ?(base = 2.0) ?(buckets = 64) () =
+    if base <= 1.0 then invalid_arg "Stats.Histogram.create: base must exceed 1";
+    { base; counts = Array.make buckets 0; n = 0 }
+
+  let bucket_of t x =
+    if x < 1.0 then 0
+    else begin
+      let b = int_of_float (Float.floor (log x /. log t.base)) + 1 in
+      Stdlib.min b (Array.length t.counts - 1)
+    end
+
+  let add t x =
+    let b = bucket_of t x in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.n <- t.n + 1
+
+  let count t = t.n
+  let bucket_count t i = t.counts.(i)
+
+  let bucket_bounds t i =
+    if i = 0 then (0.0, 1.0)
+    else (t.base ** float_of_int (i - 1), t.base ** float_of_int i)
+
+  let pp ppf t =
+    let width = 40 in
+    let mx = Array.fold_left Stdlib.max 1 t.counts in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let lo, hi = bucket_bounds t i in
+          let bar = String.make (c * width / mx) '#' in
+          Format.fprintf ppf "[%10.1f, %10.1f) %8d %s@." lo hi c bar
+        end)
+      t.counts
+end
+
+let median_of xs = Sample.median (Sample.of_list xs)

@@ -1,0 +1,58 @@
+(** Online and batch statistics.
+
+    [Summary] accumulates count/mean/variance/min/max in O(1) memory
+    (Welford's algorithm).  [Sample] keeps the raw values for exact
+    medians and percentiles — the paper reports the median of five
+    runs with min/max error bars, which [Sample.median] and
+    [Sample.minmax] provide.  [Histogram] is log-bucketed, suitable
+    for latency distributions spanning several decades. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val merge : t -> t -> t
+end
+
+module Sample : sig
+  type t
+
+  val create : unit -> t
+  val of_list : float list -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val values : t -> float array
+  val mean : t -> float
+  val median : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100], linear interpolation. *)
+
+  val minmax : t -> float * float
+end
+
+module Histogram : sig
+  type t
+
+  val create : ?base:float -> ?buckets:int -> unit -> t
+  (** Log-bucketed histogram starting at 1.0 with the given base
+      (default 2.0) and number of buckets (default 64). *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_count : t -> int -> int
+  (** Entries in bucket [i]. *)
+
+  val bucket_bounds : t -> int -> float * float
+  val pp : Format.formatter -> t -> unit
+end
+
+val median_of : float list -> float
+(** Convenience: exact median of a non-empty list. *)

@@ -1,0 +1,120 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule = Array.fold_left (fun acc w -> acc + w) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make rule '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '@'; '%'; '#'; '~' |]
+
+let chart ?(width = 72) ?(height = 20) ?(logx = false) ~title ?ylabel series =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then begin
+    Buffer.add_string buf "  (no data)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let tx x = if logx then log x else x in
+    let xs = List.map (fun (x, _) -> tx x) all_points in
+    let ys = List.map snd all_points in
+    let xmin = List.fold_left min infinity xs
+    and xmax = List.fold_left max neg_infinity xs in
+    let ymin = List.fold_left min infinity ys
+    and ymax = List.fold_left max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((tx x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              height - 1
+              - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(cy).(cx) <- glyph)
+          s.points)
+      series;
+    (match ylabel with
+    | Some l -> Buffer.add_string buf (Printf.sprintf "  y: %s\n" l)
+    | None -> ());
+    Buffer.add_string buf (Printf.sprintf "  %10.3g +\n" ymax);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "             |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "  %10.3g +%s\n" ymin (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "              x: %.3g .. %.3g%s\n"
+         (if logx then exp xmin else xmin)
+         (if logx then exp xmax else xmax)
+         (if logx then " (log scale)" else ""));
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "              %c = %s\n"
+             glyphs.(si mod Array.length glyphs)
+             s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let csv ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

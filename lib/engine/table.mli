@@ -1,0 +1,32 @@
+(** ASCII rendering of tables and line charts for the benchmark
+    harness.  The bench executable reproduces each of the paper's
+    figures as a table of series plus a rough ASCII plot, so results
+    can be read directly from a terminal or diffed in CI. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list -> header:string list -> string list list -> string
+(** Render rows under a header with column widths fitted to content.
+    [align] defaults to left for the first column and right for the
+    rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+(** {1 Series and ASCII charts} *)
+
+type series = { label : string; points : (float * float) list }
+
+val chart :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  title:string ->
+  ?ylabel:string ->
+  series list ->
+  string
+(** Multi-series scatter/line chart using one glyph per series. *)
+
+val csv : header:string list -> string list list -> string
+(** Comma-separated rendering of the same data (no quoting; values
+    must not contain commas). *)

@@ -1,0 +1,59 @@
+(** Physical units used throughout the simulator.
+
+    Simulated time is measured in integer nanoseconds, memory sizes in
+    integer bytes.  Using [int] (63-bit on 64-bit platforms) gives us
+    ~292 simulated years of nanosecond resolution, far more than any
+    experiment needs, while keeping arithmetic exact and fast. *)
+
+type time = int
+(** Simulated time or duration, in nanoseconds. *)
+
+type size = int
+(** Memory size, in bytes. *)
+
+(** {1 Time constants} *)
+
+val ns : time
+val us : time
+val ms : time
+val sec : time
+
+val of_us : float -> time
+val of_ms : float -> time
+val of_sec : float -> time
+
+val to_sec : time -> float
+(** [to_sec t] converts nanoseconds to seconds as a float. *)
+
+(** {1 Size constants} *)
+
+val kib : size
+val mib : size
+val gib : size
+
+val of_kib : int -> size
+val of_mib : int -> size
+val of_gib : int -> size
+
+(** {1 Pretty printing} *)
+
+val pp_time : Format.formatter -> time -> unit
+(** Human-friendly duration: picks ns/us/ms/s automatically. *)
+
+val pp_size : Format.formatter -> size -> unit
+(** Human-friendly size: picks B/KiB/MiB/GiB automatically. *)
+
+val time_to_string : time -> string
+val size_to_string : size -> string
+
+(** {1 Rates} *)
+
+val bytes_per_sec_to_bytes_per_ns : float -> float
+(** Convert a bandwidth in bytes/second into bytes/nanosecond. *)
+
+val gib_per_sec : float -> float
+(** [gib_per_sec g] is a bandwidth of [g] GiB/s expressed in bytes/ns. *)
+
+val transfer_time : bytes:size -> bw:float -> time
+(** [transfer_time ~bytes ~bw] is the time to move [bytes] at [bw]
+    bytes/ns, rounded up to at least 1 ns for non-empty transfers. *)

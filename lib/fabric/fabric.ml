@@ -1,0 +1,25 @@
+type t = { nic : Nic.t; topology : Topology.t }
+
+let make ?(nic = Nic.make ()) ~nodes () =
+  { nic; topology = Topology.make ~nodes () }
+
+let nic t = t.nic
+let topology t = t.topology
+
+(* Omni-Path end-to-end MPI latency is ~1 us nearest-neighbour;
+   each extra switch hop adds ~150 ns. *)
+let base_latency = 950
+let per_hop = 150
+
+let wire_time t ~src ~dst ~bytes =
+  if src = dst then 0
+  else begin
+    let hops = Topology.hops t.topology ~src ~dst in
+    base_latency + (hops * per_hop) + Nic.injection_overhead
+    + Mk_engine.Units.transfer_time ~bytes ~bw:Nic.wire_bandwidth
+  end
+
+let message t ~src ~dst ~bytes =
+  let wire = wire_time t ~src ~dst ~bytes in
+  let control = if src = dst then [] else Nic.control_syscalls t.nic ~bytes in
+  (wire, control)

@@ -1,0 +1,28 @@
+(** End-to-end internode message cost.
+
+    The wire part is the classic alpha–beta model with a per-hop
+    term; the control part is a list of system calls that the
+    *sending OS* must execute — local on Linux, offloaded on the
+    LWKs.  The caller turns those into time with its kernel's
+    syscall table, keeping this library OS-agnostic. *)
+
+type t
+
+val make : ?nic:Nic.t -> nodes:int -> unit -> t
+
+val nic : t -> Nic.t
+val topology : t -> Topology.t
+
+val wire_time : t -> src:int -> dst:int -> bytes:int -> Mk_engine.Units.time
+(** Latency + hops + serialisation for one message. *)
+
+val message :
+  t ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  Mk_engine.Units.time * Mk_syscall.Sysno.t list
+(** (wire time, control system calls charged to the sender). *)
+
+val base_latency : Mk_engine.Units.time
+val per_hop : Mk_engine.Units.time

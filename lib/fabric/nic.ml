@@ -1,0 +1,14 @@
+type t = { eager_threshold : int }
+
+let make ?(eager_threshold = 16 * 1024) () = { eager_threshold }
+
+let eager_threshold t = t.eager_threshold
+
+let control_syscalls t ~bytes =
+  if bytes <= t.eager_threshold then []
+  else [ Mk_syscall.Sysno.Ioctl; Mk_syscall.Sysno.Poll ]
+
+(* 100 Gb/s = 12.5 GB/s. *)
+let wire_bandwidth = 12.5
+
+let injection_overhead = 350

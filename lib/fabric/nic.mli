@@ -1,0 +1,27 @@
+(** Host fabric interface: Omni-Path generation 1.
+
+    The data path is user-space (PSM2), but "the Intel Omni-Path
+    network involves system calls for certain operations" (Section
+    IV): memory registration for large transfers and completion
+    waits.  [control_syscalls] says how many kernel crossings a
+    message of a given size needs; on an LWK those crossings are
+    offloaded to Linux, which is precisely why "LAMMPS utilizes
+    communication routines that rely on those" loses at scale. *)
+
+type t
+
+val make : ?eager_threshold:int -> unit -> t
+(** Default eager threshold 16 KiB. *)
+
+val eager_threshold : t -> int
+
+val control_syscalls : t -> bytes:int -> Mk_syscall.Sysno.t list
+(** Kernel crossings needed to move one message: none for eager
+    messages, an ioctl (registration) plus a poll (completion) for
+    rendezvous ones. *)
+
+val wire_bandwidth : float
+(** 100 Gb/s Omni-Path link, in bytes/ns. *)
+
+val injection_overhead : Mk_engine.Units.time
+(** Per-message software overhead in the user-space library. *)

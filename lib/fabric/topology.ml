@@ -1,0 +1,13 @@
+type t = { nodes : int; edge_size : int }
+
+let make ?(ports_per_edge = 48) ~nodes () =
+  if nodes <= 0 then invalid_arg "Topology.make: nodes must be positive";
+  (* Half the ports go down to nodes, half up to spines. *)
+  { nodes; edge_size = max 1 (ports_per_edge / 2) }
+
+let nodes t = t.nodes
+
+let same_edge t a b = a / t.edge_size = b / t.edge_size
+
+let hops t ~src ~dst =
+  if src = dst then 0 else if same_edge t src dst then 1 else 3

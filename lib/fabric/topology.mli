@@ -1,0 +1,17 @@
+(** Cluster interconnect topology: a two-level fat tree of the kind
+    Oakforest-PACS builds from 48-port Omni-Path edge switches and
+    director spines. *)
+
+type t
+
+val make : ?ports_per_edge:int -> nodes:int -> unit -> t
+(** Full-bisection two-level fat tree over [nodes] nodes; default
+    48-port edges. *)
+
+val nodes : t -> int
+
+val hops : t -> src:int -> dst:int -> int
+(** Switch hops between two nodes: 0 (same node), 1 (same edge
+    switch) or 3 (via a spine). *)
+
+val same_edge : t -> int -> int -> bool

@@ -1,0 +1,25 @@
+open Mk_engine
+
+type placement = { mcdram_fraction : float }
+
+let all_mcdram = { mcdram_fraction = 1.0 }
+let all_ddr4 = { mcdram_fraction = 0.0 }
+
+let mixed ~mcdram_fraction =
+  if mcdram_fraction < 0.0 || mcdram_fraction > 1.0 then
+    invalid_arg "Bandwidth.mixed: fraction must lie in [0,1]";
+  { mcdram_fraction }
+
+let effective p =
+  let bw_m = Memory_kind.stream_bandwidth Memory_kind.Mcdram in
+  let bw_d = Memory_kind.stream_bandwidth Memory_kind.Ddr4 in
+  let f = p.mcdram_fraction in
+  (* Harmonic mix: streaming 1 byte costs f/bw_m + (1-f)/bw_d. *)
+  1.0 /. ((f /. bw_m) +. ((1.0 -. f) /. bw_d))
+
+let per_rank p ~ranks =
+  if ranks <= 0 then invalid_arg "Bandwidth.per_rank: ranks must be positive";
+  effective p /. float_of_int ranks
+
+let stream_time ~bytes p ~ranks =
+  Units.transfer_time ~bytes ~bw:(per_rank p ~ranks)

@@ -1,0 +1,27 @@
+(** Node-level memory bandwidth model.
+
+    HPC kernels on KNL are overwhelmingly memory-bandwidth bound, so
+    the model reduces a compute phase to "bytes streamed" and divides
+    node bandwidth among the ranks using it.  When a rank's working
+    set is split between MCDRAM and DDR4, the achieved bandwidth is
+    the harmonic mix of the two: time = bytes_m/bw_m + bytes_d/bw_d. *)
+
+type placement = {
+  mcdram_fraction : float;  (** Share of streamed bytes served by MCDRAM. *)
+}
+
+val all_mcdram : placement
+val all_ddr4 : placement
+val mixed : mcdram_fraction:float -> placement
+
+val effective : placement -> float
+(** Node-aggregate bandwidth in bytes/ns for the given placement,
+    harmonic mix of {!Memory_kind.stream_bandwidth}. *)
+
+val per_rank : placement -> ranks:int -> float
+(** Fair share of node bandwidth when [ranks] ranks stream
+    concurrently. *)
+
+val stream_time :
+  bytes:Mk_engine.Units.size -> placement -> ranks:int -> Mk_engine.Units.time
+(** Time for one rank to stream [bytes] of its working set. *)

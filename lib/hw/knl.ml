@@ -1,0 +1,61 @@
+open Mk_engine
+
+type mode = Snc4_flat | Quadrant_flat
+
+let cores = 68
+let threads_per_core = 4
+let mcdram_total = Units.of_gib 16
+let ddr4_total = Units.of_gib 96
+
+(* SNC-4 distances, following the SLIT Linux exposes on KNL: local 10,
+   DDR4 in another quadrant 21, MCDRAM in the same quadrant 31, MCDRAM
+   in another quadrant 41.  The large MCDRAM distances are exactly why
+   standard NUMA policies cannot express "MCDRAM first, then spill to
+   my local DDR4" on Linux (Section II-D3). *)
+let snc4_distance i j =
+  let quadrant d = d mod 4 in
+  let is_mcdram d = d >= 4 in
+  if i = j then 10
+  else
+    match (is_mcdram i, is_mcdram j) with
+    | false, false -> 21
+    | _ -> if quadrant i = quadrant j then 31 else 41
+
+let quadrant_distance i j = if i = j then 10 else 31
+
+let snc4_domains =
+  List.init 8 (fun id ->
+      if id < 4 then
+        { Numa.id; kind = Memory_kind.Ddr4; capacity = ddr4_total / 4; quadrant = id }
+      else
+        {
+          Numa.id;
+          kind = Memory_kind.Mcdram;
+          capacity = mcdram_total / 4;
+          quadrant = id - 4;
+        })
+
+let quadrant_domains =
+  [
+    { Numa.id = 0; kind = Memory_kind.Ddr4; capacity = ddr4_total; quadrant = 0 };
+    { Numa.id = 1; kind = Memory_kind.Mcdram; capacity = mcdram_total; quadrant = 0 };
+  ]
+
+let topology = function
+  | Snc4_flat ->
+      let numa = Numa.make ~domains:snc4_domains ~distance:snc4_distance in
+      (* 68 cores over 4 quadrants: 17 per quadrant. *)
+      Topology.make ~cores ~threads_per_core ~numa ~core_domain:(fun c -> c / 17)
+  | Quadrant_flat ->
+      let numa = Numa.make ~domains:quadrant_domains ~distance:quadrant_distance in
+      Topology.make ~cores ~threads_per_core ~numa ~core_domain:(fun _ -> 0)
+
+let mcdram_domains = function
+  | Snc4_flat -> [ 4; 5; 6; 7 ]
+  | Quadrant_flat -> [ 1 ]
+
+let ddr4_domains = function Snc4_flat -> [ 0; 1; 2; 3 ] | Quadrant_flat -> [ 0 ]
+
+let mode_to_string = function
+  | Snc4_flat -> "SNC-4 flat"
+  | Quadrant_flat -> "quadrant flat"

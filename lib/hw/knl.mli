@@ -1,0 +1,30 @@
+(** Intel Xeon Phi 7250 "Knights Landing" node configurations.
+
+    The experiments in the paper run Oakforest-PACS nodes in SNC-4
+    flat mode: MCDRAM is addressable memory (not cache), and the chip
+    is split into four quadrants, giving four DDR4 NUMA domains that
+    own the cores (domains 0–3) and four core-less MCDRAM domains
+    (4–7).  Quadrant flat mode — one DDR4 domain + one MCDRAM domain —
+    is provided as well because the paper contrasts the two when
+    discussing Linux's [numactl -p] limitation. *)
+
+type mode = Snc4_flat | Quadrant_flat
+
+val cores : int
+(** 68 physical cores on the 7250. *)
+
+val threads_per_core : int
+(** 4 hardware threads per core. *)
+
+val mcdram_total : Mk_engine.Units.size
+(** 16 GiB of on-package MCDRAM. *)
+
+val ddr4_total : Mk_engine.Units.size
+(** 96 GiB of DDR4. *)
+
+val topology : mode -> Topology.t
+
+val mcdram_domains : mode -> Numa.id list
+val ddr4_domains : mode -> Numa.id list
+
+val mode_to_string : mode -> string

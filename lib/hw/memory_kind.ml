@@ -1,0 +1,14 @@
+type t = Mcdram | Ddr4
+
+let equal a b = a = b
+let compare = Stdlib.compare
+let to_string = function Mcdram -> "MCDRAM" | Ddr4 -> "DDR4"
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Bytes per nanosecond equals GB/s to within 7%; we use the published
+   sustained figures for KNL in flat mode. *)
+let stream_bandwidth = function Mcdram -> 480.0 | Ddr4 -> 90.0
+
+let load_latency = function Mcdram -> 170 | Ddr4 -> 130
+
+let all = [ Mcdram; Ddr4 ]

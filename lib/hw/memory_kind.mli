@@ -1,0 +1,23 @@
+(** Memory technologies present in a node.
+
+    The KNL processor pairs 16 GB of on-package MCDRAM (high
+    bandwidth, slightly higher latency) with 96 GB of DDR4.  The
+    bandwidth ratio between the two is what makes memory placement
+    decisions — the subject of much of the paper — matter. *)
+
+type t = Mcdram | Ddr4
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val stream_bandwidth : t -> float
+(** Sustained per-node STREAM-like bandwidth, bytes/ns (≈ GB/s).
+    MCDRAM ≈ 480 GB/s, DDR4 ≈ 90 GB/s on KNL. *)
+
+val load_latency : t -> Mk_engine.Units.time
+(** Idle load-to-use latency in ns.  MCDRAM is slightly slower to
+    first word than DDR4 (≈ 170 vs 130 ns on KNL). *)
+
+val all : t list

@@ -1,0 +1,53 @@
+type id = int
+
+type domain = {
+  id : id;
+  kind : Memory_kind.t;
+  capacity : Mk_engine.Units.size;
+  quadrant : int;
+}
+
+type t = { domains : domain array; distance : int array array }
+
+let make ~domains ~distance =
+  let domains = Array.of_list domains in
+  Array.iteri
+    (fun i d ->
+      if d.id <> i then invalid_arg "Numa.make: domain ids must be 0..n-1 in order")
+    domains;
+  let n = Array.length domains in
+  let dist = Array.init n (fun i -> Array.init n (fun j -> distance i j)) in
+  for i = 0 to n - 1 do
+    if dist.(i).(i) <> 10 then invalid_arg "Numa.make: self distance must be 10"
+  done;
+  { domains; distance = dist }
+
+let domains t = Array.to_list t.domains
+
+let domain t id =
+  if id < 0 || id >= Array.length t.domains then
+    invalid_arg (Printf.sprintf "Numa.domain: no domain %d" id);
+  t.domains.(id)
+
+let count t = Array.length t.domains
+let distance t i j = t.distance.(i).(j)
+let capacity t id = (domain t id).capacity
+let kind t id = (domain t id).kind
+
+let domains_of_kind t k =
+  List.filter (fun d -> Memory_kind.equal d.kind k) (domains t)
+
+let by_distance t ~from =
+  let ids = List.init (count t) (fun i -> i) in
+  List.sort
+    (fun a b ->
+      match compare (distance t from a) (distance t from b) with
+      | 0 -> compare a b
+      | c -> c)
+    ids
+
+let nearest t ~from ~kind:k =
+  let candidates =
+    List.filter (fun id -> Memory_kind.equal (kind t id) k) (by_distance t ~from)
+  in
+  match candidates with [] -> None | id :: _ -> Some id

@@ -1,0 +1,39 @@
+(** NUMA domains and inter-domain distances.
+
+    A node exposes a set of NUMA domains, each backed by one memory
+    kind and (possibly) owning CPU cores.  In KNL's SNC-4 flat mode
+    there are eight domains: four DDR4 quadrants with cores and four
+    core-less MCDRAM quadrants.  Distances follow the Linux SLIT
+    convention (10 = local). *)
+
+type id = int
+
+type domain = {
+  id : id;
+  kind : Memory_kind.t;
+  capacity : Mk_engine.Units.size;
+  quadrant : int;  (** Physical quadrant the domain lives in, 0-3. *)
+}
+
+type t
+
+val make : domains:domain list -> distance:(id -> id -> int) -> t
+
+val domains : t -> domain list
+val domain : t -> id -> domain
+val count : t -> int
+
+val distance : t -> id -> id -> int
+(** SLIT-style distance; [distance t i i = 10]. *)
+
+val capacity : t -> id -> Mk_engine.Units.size
+val kind : t -> id -> Memory_kind.t
+
+val domains_of_kind : t -> Memory_kind.t -> domain list
+
+val nearest : t -> from:id -> kind:Memory_kind.t -> id option
+(** Closest domain of a given kind, by distance then by id. *)
+
+val by_distance : t -> from:id -> id list
+(** All domain ids ordered by increasing distance from [from]
+    (ties broken by id); [from] itself comes first. *)

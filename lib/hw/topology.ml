@@ -1,0 +1,61 @@
+type core = int
+type cpu = int
+
+type t = {
+  cores : int;
+  threads_per_core : int;
+  numa : Numa.t;
+  core_domain : Numa.id array;
+}
+
+let make ~cores ~threads_per_core ~numa ~core_domain =
+  if cores <= 0 then invalid_arg "Topology.make: cores must be positive";
+  if threads_per_core <= 0 then
+    invalid_arg "Topology.make: threads_per_core must be positive";
+  let core_domain =
+    Array.init cores (fun c ->
+        let d = core_domain c in
+        if d < 0 || d >= Numa.count numa then
+          invalid_arg (Printf.sprintf "Topology.make: core %d maps to bad domain %d" c d);
+        d)
+  in
+  { cores; threads_per_core; numa; core_domain }
+
+let cores t = t.cores
+let threads_per_core t = t.threads_per_core
+let cpus t = t.cores * t.threads_per_core
+let numa t = t.numa
+
+let check_cpu t cpu =
+  if cpu < 0 || cpu >= cpus t then
+    invalid_arg (Printf.sprintf "Topology: bad cpu %d" cpu)
+
+let core_of_cpu t cpu =
+  check_cpu t cpu;
+  cpu mod t.cores
+
+let thread_of_cpu t cpu =
+  check_cpu t cpu;
+  cpu / t.cores
+
+let cpu_of t ~core ~thread =
+  if core < 0 || core >= t.cores then invalid_arg "Topology.cpu_of: bad core";
+  if thread < 0 || thread >= t.threads_per_core then
+    invalid_arg "Topology.cpu_of: bad thread";
+  core + (t.cores * thread)
+
+let domain_of_core t core =
+  if core < 0 || core >= t.cores then
+    invalid_arg (Printf.sprintf "Topology.domain_of_core: bad core %d" core);
+  t.core_domain.(core)
+
+let domain_of_cpu t cpu = domain_of_core t (core_of_cpu t cpu)
+
+let cores_of_domain t id =
+  List.filter (fun c -> t.core_domain.(c) = id) (List.init t.cores (fun c -> c))
+
+let siblings t cpu =
+  let core = core_of_cpu t cpu in
+  List.init t.threads_per_core (fun thread -> cpu_of t ~core ~thread)
+
+let quadrant_of_core t core = (Numa.domain t.numa (domain_of_core t core)).Numa.quadrant

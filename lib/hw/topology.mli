@@ -1,0 +1,42 @@
+(** CPU topology of a compute node.
+
+    A node has [cores] physical cores, each with [threads_per_core]
+    hardware threads.  Cores belong to a NUMA domain (in SNC-4, only
+    the four DDR4 domains own cores).  Logical CPU numbering follows
+    Linux on KNL: logical cpu = core + cores * thread. *)
+
+type core = int
+(** Physical core index, [0, cores). *)
+
+type cpu = int
+(** Logical CPU (hardware thread) index, [0, cores * threads_per_core). *)
+
+type t
+
+val make :
+  cores:int ->
+  threads_per_core:int ->
+  numa:Numa.t ->
+  core_domain:(core -> Numa.id) ->
+  t
+(** @raise Invalid_argument if [core_domain] maps a core to a
+    domain without the right to own cores (an MCDRAM domain is
+    allowed here; validation only checks the id is in range). *)
+
+val cores : t -> int
+val threads_per_core : t -> int
+val cpus : t -> int
+val numa : t -> Numa.t
+
+val core_of_cpu : t -> cpu -> core
+val thread_of_cpu : t -> cpu -> int
+val cpu_of : t -> core:core -> thread:int -> cpu
+
+val domain_of_core : t -> core -> Numa.id
+val domain_of_cpu : t -> cpu -> Numa.id
+val cores_of_domain : t -> Numa.id -> core list
+
+val siblings : t -> cpu -> cpu list
+(** Hardware threads sharing the same physical core, including [cpu]. *)
+
+val quadrant_of_core : t -> core -> int

@@ -1,0 +1,30 @@
+type t = {
+  lwk_core : Mk_hw.Topology.core;
+  linux_core : Mk_hw.Topology.core;
+  same_quadrant : bool;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let make ~topo ~lwk_core ~linux_core =
+  let same_quadrant =
+    Mk_hw.Topology.quadrant_of_core topo lwk_core
+    = Mk_hw.Topology.quadrant_of_core topo linux_core
+  in
+  { lwk_core; linux_core; same_quadrant; messages = 0; bytes = 0 }
+
+(* Base one-way latency: a cache-line handoff across the KNL mesh is
+   a few hundred nanoseconds; crossing quadrants adds mesh hops.
+   Payload moves at roughly L2-to-L2 bandwidth. *)
+let base_latency = 400
+let cross_quadrant_extra = 250
+let payload_bandwidth = 8.0 (* bytes/ns *)
+
+let latency t ~payload =
+  let base = base_latency + if t.same_quadrant then 0 else cross_quadrant_extra in
+  base + Mk_engine.Units.transfer_time ~bytes:payload ~bw:payload_bandwidth
+
+let send t ~payload =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + payload;
+  latency t ~payload

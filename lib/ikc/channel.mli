@@ -1,0 +1,30 @@
+(** Inter-Kernel Communication message channels.
+
+    IHK "provides an Inter-Kernel Communication (IKC) layer, upon
+    which system call offloading is implemented" (Section II-B), and
+    "IKC … understands the underlying topology to perform efficient
+    message delivery between the two kernels" (Section II-D1).  A
+    channel connects one LWK core to one Linux core; message latency
+    depends on whether the two live in the same quadrant (shared L2
+    mesh locality). *)
+
+type t = {
+  lwk_core : Mk_hw.Topology.core;
+  linux_core : Mk_hw.Topology.core;
+  same_quadrant : bool;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+val make :
+  topo:Mk_hw.Topology.t ->
+  lwk_core:Mk_hw.Topology.core ->
+  linux_core:Mk_hw.Topology.core ->
+  t
+
+val latency : t -> payload:int -> Mk_engine.Units.time
+(** One-way message latency: cache-line ping-pong across the mesh
+    plus payload transfer.  Cross-quadrant routes pay extra hops. *)
+
+val send : t -> payload:int -> Mk_engine.Units.time
+(** [latency] plus accounting. *)

@@ -1,0 +1,36 @@
+type t = {
+  topo : Mk_hw.Topology.t;
+  linux_cores : Mk_hw.Topology.core list;
+  channels : (Mk_hw.Topology.core, Channel.t) Hashtbl.t;
+}
+
+let make ~topo ~linux_cores =
+  if linux_cores = [] then invalid_arg "Router.make: no Linux cores";
+  { topo; linux_cores; channels = Hashtbl.create 64 }
+
+let linux_target t ~lwk_core =
+  let quadrant = Mk_hw.Topology.quadrant_of_core t.topo lwk_core in
+  match
+    List.find_opt
+      (fun c -> Mk_hw.Topology.quadrant_of_core t.topo c = quadrant)
+      t.linux_cores
+  with
+  | Some c -> c
+  | None ->
+      (* Round-robin by LWK core id keeps the load spread and the
+         choice deterministic. *)
+      List.nth t.linux_cores (lwk_core mod List.length t.linux_cores)
+
+let channel t ~lwk_core =
+  match Hashtbl.find_opt t.channels lwk_core with
+  | Some ch -> ch
+  | None ->
+      let linux_core = linux_target t ~lwk_core in
+      let ch = Channel.make ~topo:t.topo ~lwk_core ~linux_core in
+      Hashtbl.replace t.channels lwk_core ch;
+      ch
+
+let total_messages t =
+  Hashtbl.fold (fun _ ch acc -> acc + ch.Channel.messages) t.channels 0
+
+let linux_cores t = t.linux_cores

@@ -1,0 +1,22 @@
+(** Topology-aware routing from LWK cores to Linux cores.
+
+    Both kernels route offloads NUMA-aware: "mOS follows a NUMA aware
+    mapping from LWK to Linux cores when thread migration is
+    performed" and IKC "understands the underlying topology"
+    (Section II-D1).  The router picks, for each LWK core, the Linux
+    core in the same quadrant when one exists, falling back to
+    round-robin over all Linux cores. *)
+
+type t
+
+val make :
+  topo:Mk_hw.Topology.t -> linux_cores:Mk_hw.Topology.core list -> t
+
+val linux_target : t -> lwk_core:Mk_hw.Topology.core -> Mk_hw.Topology.core
+(** Preferred Linux core for offloads issued from [lwk_core]. *)
+
+val channel : t -> lwk_core:Mk_hw.Topology.core -> Channel.t
+(** The (cached) channel for that route. *)
+
+val total_messages : t -> int
+val linux_cores : t -> Mk_hw.Topology.core list

@@ -1,0 +1,36 @@
+open Mk_engine
+
+type spec = {
+  linux_memory : Units.size;
+  max_contiguous : Units.size option;
+}
+
+let default_late =
+  { linux_memory = Units.of_gib 4; max_contiguous = Some (Units.of_gib 1 + Units.of_mib 256) }
+
+let default_boot = { linux_memory = Units.of_gib 4; max_contiguous = None }
+
+let partition ~topo spec =
+  let numa = Mk_hw.Topology.numa topo in
+  let phys =
+    match spec.max_contiguous with
+    | None -> Mk_mem.Phys.create numa
+    | Some max_block -> Mk_mem.Phys.create_fragmented numa ~max_block
+  in
+  (* Linux keeps its share of DDR4 spread over the core-owning
+     domains (its unmovable data sits where it booted). *)
+  let ddr =
+    List.filter
+      (fun (d : Mk_hw.Numa.domain) ->
+        Mk_hw.Memory_kind.equal d.Mk_hw.Numa.kind Mk_hw.Memory_kind.Ddr4)
+      (Mk_hw.Numa.domains numa)
+  in
+  let n = max 1 (List.length ddr) in
+  let share = spec.linux_memory / n in
+  List.iter
+    (fun (d : Mk_hw.Numa.domain) ->
+      Mk_mem.Phys.reserve phys ~domain:d.Mk_hw.Numa.id ~bytes:share)
+    ddr;
+  phys
+
+let release _ = ()

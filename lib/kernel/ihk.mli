@@ -1,0 +1,36 @@
+(** Interface for Heterogeneous Kernels: resource partitioning.
+
+    "IHK can allocate and release host resources dynamically without
+    rebooting the host machine … implemented as a collection of
+    kernel modules without any modifications to the Linux kernel"
+    (Section II-B).  The price of partitioning after Linux has booted
+    is that "McKernel has to request [large contiguous physical
+    memory blocks] from Linux later, potentially after Linux has
+    already placed unmovable data structures into it" (Section
+    II-D5): the LWK partition comes back fragmented, modelled by a
+    cap on contiguous block size.
+
+    [partition] returns the physical memory the LWK will manage;
+    whatever Linux keeps is subtracted. *)
+
+type spec = {
+  linux_memory : Mk_engine.Units.size;
+      (** DDR4 kept by the Linux side (kernel, daemons, page cache) *)
+  max_contiguous : Mk_engine.Units.size option;
+      (** [Some b]: blocks handed over are at most [b] contiguous
+          (late, post-boot reservation).  [None]: pristine memory
+          (boot-time grab, as mOS does). *)
+}
+
+val default_late : spec
+(** 4 GiB for Linux; contiguous blocks capped at 1 GiB + change, so
+    1G pages remain available but barely. *)
+
+val default_boot : spec
+(** 4 GiB for Linux; no fragmentation (mOS-style boot-time grab). *)
+
+val partition : topo:Mk_hw.Topology.t -> spec -> Mk_mem.Phys.t
+
+val release : Mk_mem.Phys.t -> unit
+(** Releasing an LWK partition back to Linux is instantaneous in the
+    model; provided for API completeness. *)

@@ -1,0 +1,17 @@
+(** The Linux baseline: the Fujitsu HPC-optimised production stack
+    the paper compares against — CentOS-based XPPSL with application
+    cores configured [nohz_full] (Section III-A).
+
+    Demand paging with opportunistic THP, CFS scheduling, the full
+    noise menagerie on application cores (reduced by nohz_full), and
+    every system call served locally. *)
+
+val create :
+  ?mode:Mk_hw.Knl.mode ->
+  ?os_cores:int ->
+  ?nohz_full:bool ->
+  ?linux_memory:Mk_engine.Units.size ->
+  unit ->
+  Os.t
+(** Defaults: SNC-4 flat, 4 OS cores, nohz_full enabled, 4 GiB kept
+    for the kernel and daemons. *)

@@ -1,0 +1,21 @@
+(** IHK/McKernel: LWK booted by IHK after Linux, proxy-process
+    system-call offloading, strict core isolation (Linux "cannot
+    interact with the McKernel scheduler", Section II-D2).
+
+    Memory: prefault with up to 1G pages, MCDRAM-first with silent
+    DDR4 spill, fall back to demand paging when contiguous physical
+    memory runs short (the behaviour behind the CCS-QCD win,
+    Section IV), 2M-aligned aggressively-extended heap with shrink
+    ignored.  The job-launch options of Section IV are exposed. *)
+
+val create :
+  ?mode:Mk_hw.Knl.mode ->
+  ?os_cores:int ->
+  ?ihk_spec:Ihk.spec ->
+  ?options:Os.options ->
+  ?time_sharing:Mk_engine.Units.time option ->
+  unit ->
+  Os.t
+(** Defaults: SNC-4 flat, 4 Linux cores, late (fragmented) IHK
+    partition, heap management on, no premap, yield honoured,
+    cooperative scheduling. *)

@@ -1,0 +1,19 @@
+(** mOS: the LWK compiled directly into Linux, offloading system
+    calls by migrating the issuing thread onto a Linux core and back
+    (Section II-C).
+
+    Memory: boot-time contiguous grab (best 1G-page availability),
+    prefault with up to 1G pages, rigid physical allocation — "Only
+    physically available memory can be allocated" (Section II-D3) —
+    and LWK memory divided between ranks at job launch, modelled as a
+    per-process MCDRAM quota.  The heap optimisation is a runtime
+    toggle (Table I).  Being in-tree, a rare stray Linux kernel task
+    can still reach an LWK core (Section II-D2). *)
+
+val create :
+  ?mode:Mk_hw.Knl.mode ->
+  ?os_cores:int ->
+  ?linux_memory:Mk_engine.Units.size ->
+  ?options:Os.options ->
+  unit ->
+  Os.t

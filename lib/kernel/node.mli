@@ -1,0 +1,62 @@
+(** One booted compute node: an OS model plus a job's ranks, with an
+    interpreter for {!Workload} programs.
+
+    [run_ops] executes one rank's program start-to-finish on its own
+    core (the HPC configuration: one task per hardware thread, no
+    oversubscription), charging compute inflation from the noise
+    profile, memory costs from the address space, and system-call
+    costs from the kernel's disposition/offload machinery.
+
+    [run_shared_core] is the oversubscribed variant: several tasks
+    time-share one core under the kernel's scheduler — preemptive
+    CFS on Linux, cooperative round-robin (optionally time-shared) on
+    the LWKs — driven by the discrete-event core. *)
+
+type rank_state = {
+  rank : int;
+  process : Mk_proc.Process.t;
+  task : Mk_proc.Task.t;
+  core : Mk_hw.Topology.core;
+  home : Mk_hw.Numa.id;
+  rng : Mk_engine.Rng.t;
+  mutable last_fd : int option;  (** most recently opened descriptor *)
+}
+
+type t
+
+val boot :
+  os:Os.t -> ranks:int -> threads_per_rank:int -> seed:int -> t
+(** Lays ranks out with {!Mk_sched.Binding.block}, creates one
+    process + address space per rank (and, under McKernel, its
+    Linux-side proxy). *)
+
+val os : t -> Os.t
+val ranks : t -> int
+val rank_state : t -> int -> rank_state
+val address_space : t -> rank:int -> Mk_mem.Address_space.t
+
+val run_ops : t -> rank:int -> Workload.op list -> Mk_engine.Units.time
+(** Execute a program on one rank; returns elapsed simulated time.
+    Failed operations (ENOMEM under a rigid kernel, ENOSYS) are
+    counted in [failures] but do not abort the program. *)
+
+val run_all : t -> (int -> Workload.op list) -> Mk_engine.Units.time array
+(** Run every rank's program independently (they do not synchronise
+    here — MPI-level synchronisation lives in mk_mpi). *)
+
+val failures : t -> int
+
+val run_shared_core :
+  t ->
+  tasks:int ->
+  ops_per_task:Workload.op list ->
+  Mk_engine.Units.time
+(** DES-driven time sharing of [tasks] identical programs on one
+    core; returns the makespan. *)
+
+val shm_window : t -> bytes_per_rank:int -> Mk_engine.Units.time array
+(** Create the MPI intra-node shared-memory window: one segment per
+    rank pair direction, modelled as one shared mapping per rank.
+    Under McKernel's [--mpol-shm-premap] the cost lands here
+    (prefault, no contention); otherwise the pages fault on first
+    communication with all ranks contending (Section IV). *)

@@ -1,0 +1,149 @@
+type entry =
+  | Proc_cpuinfo
+  | Proc_meminfo
+  | Proc_stat
+  | Proc_pid_stat
+  | Proc_pid_status
+  | Proc_pid_maps
+  | Proc_pid_mem
+  | Proc_pid_environ
+  | Proc_loadavg
+  | Sys_cpu_topology
+  | Sys_node_meminfo
+  | Sys_kernel_mm
+
+type serving = Native | Reimplemented | Reused | Forwarded | Missing
+
+type kernel = Linux | Mckernel | Mos
+
+let entries =
+  [
+    Proc_cpuinfo; Proc_meminfo; Proc_stat; Proc_pid_stat; Proc_pid_status;
+    Proc_pid_maps; Proc_pid_mem; Proc_pid_environ; Proc_loadavg;
+    Sys_cpu_topology; Sys_node_meminfo; Sys_kernel_mm;
+  ]
+
+let entry_path = function
+  | Proc_cpuinfo -> "/proc/cpuinfo"
+  | Proc_meminfo -> "/proc/meminfo"
+  | Proc_stat -> "/proc/stat"
+  | Proc_pid_stat -> "/proc/[pid]/stat"
+  | Proc_pid_status -> "/proc/[pid]/status"
+  | Proc_pid_maps -> "/proc/[pid]/maps"
+  | Proc_pid_mem -> "/proc/[pid]/mem"
+  | Proc_pid_environ -> "/proc/[pid]/environ"
+  | Proc_loadavg -> "/proc/loadavg"
+  | Sys_cpu_topology -> "/sys/devices/system/cpu"
+  | Sys_node_meminfo -> "/sys/devices/system/node"
+  | Sys_kernel_mm -> "/sys/kernel/mm"
+
+let serve kernel entry =
+  match kernel with
+  | Linux -> Native
+  | Mos -> (
+      (* In-tree: "mOS mostly reuses the Linux implementation", and
+         being compiled into Linux the reused files see the real
+         partition. *)
+      match entry with
+      | Proc_pid_maps | Proc_pid_mem ->
+          (* LWK mappings are mOS-private; these two are rebuilt. *)
+          Reimplemented
+      | _ -> Reused)
+  | Mckernel -> (
+      (* The proxy model: per-process files must be reimplemented to
+         describe the LWK process; global files are forwarded to the
+         Linux side and therefore describe Linux's slice of the node,
+         not the LWK partition — unless McKernel rebuilt them. *)
+      match entry with
+      | Proc_pid_stat | Proc_pid_status | Proc_pid_maps | Proc_pid_environ ->
+          Reimplemented
+      | Proc_cpuinfo | Proc_meminfo | Sys_cpu_topology | Sys_node_meminfo ->
+          Reimplemented
+      | Proc_stat | Proc_loadavg -> Forwarded
+      | Proc_pid_mem -> Reimplemented
+      | Sys_kernel_mm -> Missing)
+
+let reflects_partition = function
+  | Native | Reimplemented | Reused -> true
+  | Forwarded | Missing -> false
+
+(* ------------------------------------------------------------------ *)
+(* Tools                                                               *)
+
+type tool = Ps | Top | Numactl_hardware | Taskset | Gdb | Strace
+
+type verdict = Full | Degraded of string | Broken of string
+
+let tools = [ Ps; Top; Numactl_hardware; Taskset; Gdb; Strace ]
+
+let tool_name = function
+  | Ps -> "ps"
+  | Top -> "top"
+  | Numactl_hardware -> "numactl --hardware"
+  | Taskset -> "taskset"
+  | Gdb -> "gdb"
+  | Strace -> "strace"
+
+let needs = function
+  | Ps -> [ Proc_pid_stat; Proc_pid_status ]
+  | Top -> [ Proc_pid_stat; Proc_stat; Proc_meminfo; Proc_loadavg ]
+  | Numactl_hardware -> [ Sys_cpu_topology; Sys_node_meminfo ]
+  | Taskset -> []
+  | Gdb -> [ Proc_pid_maps; Proc_pid_mem ]
+  | Strace -> []
+
+let needs_ptrace = function
+  | Gdb | Strace -> true
+  | Ps | Top | Numactl_hardware | Taskset -> false
+
+let ptrace_quality kernel =
+  match kernel with
+  | Linux -> Full
+  | Mos ->
+      (* "mOS … can directly reuse Linux' ptrace() implementation"
+         (Section II-D4); one LTP corner still fails. *)
+      Degraded "one ptrace corner case fails"
+  | Mckernel ->
+      (* "services like ptrace() and prctl() are difficult to
+         implement in the proxy model when crossing kernel
+         boundaries" (Section II-D4). *)
+      Degraded "proxy-boundary tracing: limited stop/resume fidelity"
+
+let tool_support kernel tool =
+  let stale =
+    List.filter (fun e -> not (reflects_partition (serve kernel e))) (needs tool)
+  in
+  let base =
+    match stale with
+    | [] -> Full
+    | es ->
+        Degraded
+          (Printf.sprintf "%s describe the Linux view, not the LWK partition"
+             (String.concat ", " (List.map entry_path es)))
+  in
+  if not (needs_ptrace tool) then base
+  else
+    match (base, ptrace_quality kernel) with
+    | Broken r, _ | _, Broken r -> Broken r
+    | Degraded r, _ | _, Degraded r -> Degraded r
+    | Full, Full -> Full
+
+let tool_runs_on kernel tool =
+  match kernel with
+  | Linux -> `Linux_core
+  | Mos ->
+      (* "mOS can leave them on the Linux side" (Section II-D4). *)
+      `Linux_core
+  | Mckernel -> (
+      (* "in McKernel most tools must run on an LWK core". *)
+      match tool with
+      | Numactl_hardware -> `Linux_core
+      | Ps | Top | Taskset | Gdb | Strace -> `Lwk_core)
+
+let verdict_to_string = function
+  | Full -> "full"
+  | Degraded r -> Printf.sprintf "degraded (%s)" r
+  | Broken r -> Printf.sprintf "broken (%s)" r
+
+let support_score kernel =
+  List.length (List.filter (fun t -> tool_support kernel t = Full) tools)

@@ -1,0 +1,72 @@
+(** The /proc and /sys pseudo-filesystems, and tools support.
+
+    "Full Linux compatibility requires faithfully replicating system
+    call semantics, but also mimicking the complex and ever changing
+    pseudo file systems; e.g., /proc, /sys" (Section II-A), and the
+    design split shows here most clearly: "McKernel needs to implement
+    various /sys and /proc files to reflect the resource partition
+    assigned to the LWK, while mOS mostly reuses the Linux
+    implementation.  Additionally, in McKernel most tools must run on
+    an LWK core, while mOS can leave them on the Linux side"
+    (Section II-D4).
+
+    The model: each pseudo-file is served in one of four ways, and
+    each standard tool needs a set of pseudo-files plus possibly
+    ptrace; combining the two yields a support verdict per kernel. *)
+
+type entry =
+  | Proc_cpuinfo
+  | Proc_meminfo
+  | Proc_stat
+  | Proc_pid_stat  (** /proc/[pid]/stat *)
+  | Proc_pid_status
+  | Proc_pid_maps
+  | Proc_pid_mem
+  | Proc_pid_environ
+  | Proc_loadavg
+  | Sys_cpu_topology  (** /sys/devices/system/cpu *)
+  | Sys_node_meminfo  (** /sys/devices/system/node *)
+  | Sys_kernel_mm  (** /sys/kernel/mm (hugepages, THP knobs) *)
+
+type serving =
+  | Native  (** the kernel's own first-class implementation *)
+  | Reimplemented
+      (** rebuilt inside the LWK to reflect the LWK partition *)
+  | Reused  (** mOS: the in-tree Linux implementation, partition-aware *)
+  | Forwarded
+      (** answered by the Linux side; values describe Linux's view of
+          the node, not the LWK partition *)
+  | Missing
+
+type kernel = Linux | Mckernel | Mos
+
+val serve : kernel -> entry -> serving
+
+val reflects_partition : serving -> bool
+(** Whether a read returns values consistent with the resources the
+    application actually owns. *)
+
+val entries : entry list
+val entry_path : entry -> string
+
+(** {1 Tools} *)
+
+type tool = Ps | Top | Numactl_hardware | Taskset | Gdb | Strace
+
+type verdict =
+  | Full
+  | Degraded of string  (** works, with a caveat *)
+  | Broken of string
+
+val tool_support : kernel -> tool -> verdict
+
+val tool_runs_on : kernel -> tool -> [ `Lwk_core | `Linux_core ]
+(** Where the tool must execute: on McKernel, tools that inspect LWK
+    processes must run on an LWK core; mOS leaves them Linux-side. *)
+
+val tools : tool list
+val tool_name : tool -> string
+val verdict_to_string : verdict -> string
+
+val support_score : kernel -> int
+(** Count of fully-supported tools, for coarse comparisons. *)

@@ -1,0 +1,32 @@
+type op =
+  | Compute of Mk_engine.Units.time
+  | Stream of Mk_engine.Units.size
+  | Syscall of Mk_syscall.Sysno.t
+  | Mmap of { bytes : Mk_engine.Units.size; touch : bool }
+  | Brk of int
+  | Touch_heap
+  | Yield
+  | Open_file of string
+  | Read_bytes of int
+  | Write_bytes of int
+  | Close_file
+
+let compute ms = Compute (Mk_engine.Units.of_ms ms)
+
+let pp ppf = function
+  | Compute t -> Format.fprintf ppf "compute(%a)" Mk_engine.Units.pp_time t
+  | Stream s -> Format.fprintf ppf "stream(%a)" Mk_engine.Units.pp_size s
+  | Syscall s -> Format.fprintf ppf "syscall(%a)" Mk_syscall.Sysno.pp s
+  | Mmap { bytes; touch } ->
+      Format.fprintf ppf "mmap(%a%s)" Mk_engine.Units.pp_size bytes
+        (if touch then ", touch" else "")
+  | Brk d -> Format.fprintf ppf "brk(%+d)" d
+  | Touch_heap -> Format.fprintf ppf "touch-heap"
+  | Yield -> Format.fprintf ppf "yield"
+  | Open_file p -> Format.fprintf ppf "open(%s)" p
+  | Read_bytes n -> Format.fprintf ppf "read(%d)" n
+  | Write_bytes n -> Format.fprintf ppf "write(%d)" n
+  | Close_file -> Format.fprintf ppf "close"
+
+let total_brk_calls ops =
+  List.length (List.filter (function Brk _ -> true | _ -> false) ops)

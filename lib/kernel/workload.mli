@@ -1,0 +1,38 @@
+(** The node-level workload language.
+
+    A rank's behaviour is a sequence of operations; the {!Node}
+    interpreter executes them against a booted OS model, charging
+    simulated time.  Application models (mk_apps) compile to this
+    language for single-node experiments — e.g. the Lulesh brk trace
+    of Section IV is literally a list of [Brk] operations. *)
+
+type op =
+  | Compute of Mk_engine.Units.time
+      (** CPU-bound work; inflated by the OS noise profile. *)
+  | Stream of Mk_engine.Units.size
+      (** Memory-bandwidth-bound sweep over a working set of this
+          size; speed depends on where the rank's memory landed
+          (MCDRAM vs DDR4) and its page sizes. *)
+  | Syscall of Mk_syscall.Sysno.t
+      (** A non-memory system call: local or offloaded per kernel. *)
+  | Mmap of { bytes : Mk_engine.Units.size; touch : bool }
+      (** Anonymous mapping; [touch] first-touches it immediately. *)
+  | Brk of int  (** brk delta: positive grow, negative shrink, 0 query. *)
+  | Touch_heap  (** Write over the whole heap (faults unbacked pages). *)
+  | Yield  (** sched_yield — hijackable by [--disable-sched-yield]. *)
+  | Open_file of string
+      (** open(2); the descriptor lands in the Linux-side proxy's
+          table on McKernel ("McKernel … simply returns the
+          descriptor it receives from the proxy process"). *)
+  | Read_bytes of int
+      (** read(2) on the most recently opened descriptor; offloaded
+          reads ship the buffer back through the IKC channel. *)
+  | Write_bytes of int  (** write(2) on the most recent descriptor. *)
+  | Close_file  (** close(2) on the most recent descriptor. *)
+
+val compute : float -> op
+(** [compute ms] — convenience, milliseconds. *)
+
+val pp : Format.formatter -> op -> unit
+
+val total_brk_calls : op list -> int

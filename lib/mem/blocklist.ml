@@ -1,0 +1,12 @@
+type 'a t = { mutable items : Phys.block list }
+
+let empty () = { items = [] }
+let add t b = t.items <- b :: t.items
+let blocks t = t.items
+
+let release_all t phys =
+  List.iter (fun b -> Phys.free phys b) t.items;
+  t.items <- []
+
+let total_bytes t =
+  List.fold_left (fun acc (b : Phys.block) -> acc + b.bytes) 0 t.items

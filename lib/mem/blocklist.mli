@@ -1,0 +1,16 @@
+(** A bag of physical blocks with bulk release.
+
+    VMAs keep their backing blocks here so that unmap can return
+    everything to the right {!Phys} allocator.  The type parameter is
+    phantom-ish (we store {!Phys.block} directly); the module exists
+    to keep [Vma] free of a direct dependency cycle with [Phys]. *)
+
+type 'a t
+
+val empty : unit -> 'a t
+val add : 'a t -> Phys.block -> unit
+val blocks : 'a t -> Phys.block list
+val release_all : 'a t -> Phys.t -> unit
+(** Free every block into the allocator and empty the bag. *)
+
+val total_bytes : 'a t -> int

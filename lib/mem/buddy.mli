@@ -1,0 +1,37 @@
+(** Binary buddy allocator over one physically contiguous region.
+
+    Physical memory inside a NUMA domain is handed out in power-of-two
+    blocks of 4 KiB base pages.  The allocator tracks the largest free
+    block, which determines whether a 1 GiB or 2 MiB page can still be
+    mapped — the mechanism behind mOS's advantage from grabbing memory
+    "early during the boot sequence" versus IHK/McKernel requesting it
+    after Linux "has already placed unmovable data structures into it"
+    (Section II-D5). *)
+
+type t
+
+val create : base:int -> bytes:int -> t
+(** Region starting at physical address [base] covering [bytes].
+    [base] must be 4 KiB aligned; [bytes] is rounded down to a whole
+    number of base pages. *)
+
+val total : t -> int
+(** Usable bytes in the region. *)
+
+val free_bytes : t -> int
+val used_bytes : t -> int
+
+val alloc : t -> bytes:int -> int option
+(** Allocate a contiguous block of at least [bytes]; returns the
+    physical base address.  The block is aligned to its own
+    (power-of-two) size, so a 1 GiB request comes back 1 GiB aligned. *)
+
+val free : t -> addr:int -> bytes:int -> unit
+(** Release a block obtained from [alloc] with the same size.
+    @raise Invalid_argument on a block that is not currently allocated. *)
+
+val largest_free : t -> int
+(** Size in bytes of the largest currently free block. *)
+
+val fragmentation : t -> float
+(** 1 - largest_free/free_bytes; 0 when free space is one block. *)

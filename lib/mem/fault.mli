@@ -1,0 +1,43 @@
+(** Cost model for page faults and page-table population.
+
+    A demand (Linux-style) fault pays a trap into the kernel, a
+    page-table install, and the zeroing of the page on first write.
+    Populating pages upfront (LWK-style prefault at [mmap]/[brk] time)
+    pays only the installs plus whatever zeroing policy the kernel
+    uses — no traps, no per-page kernel entries.  Concurrent faulting
+    threads contend on mm locks, which is what McKernel's
+    [--mpol-shm-premap] avoids (Section IV). *)
+
+type costs = {
+  trap : Mk_engine.Units.time;  (** user→kernel transition + handler entry *)
+  map_small : Mk_engine.Units.time;  (** PTE install, 4K *)
+  map_large : Mk_engine.Units.time;  (** PMD install, 2M *)
+  map_huge : Mk_engine.Units.time;  (** PUD install, 1G *)
+  zero_bandwidth : float;
+      (** single-thread memset bandwidth, bytes/ns (KNL cores are slow) *)
+  bulk_zero_bandwidth : float;
+      (** streaming memset without per-page traps, bytes/ns *)
+  contention : float;
+      (** extra cost fraction per additional concurrent faulter *)
+}
+
+val default : costs
+(** Calibrated to typical KNL numbers: ~1 µs per 4K anonymous fault,
+    ~4 GB/s single-thread memset. *)
+
+val map_cost : costs -> Page.size -> Mk_engine.Units.time
+
+val demand_fault : costs -> page:Page.size -> concurrency:int -> Mk_engine.Units.time
+(** One demand fault mapping and zeroing one page of the given size
+    with [concurrency] threads faulting simultaneously in the same
+    address space or on the same shared mapping. *)
+
+val demand_fault_bytes :
+  costs -> page:Page.size -> bytes:int -> concurrency:int -> Mk_engine.Units.time
+(** Total cost of demand-faulting [bytes] at the given granularity. *)
+
+val prefault :
+  costs -> page:Page.size -> bytes:int -> zero_bytes:int -> Mk_engine.Units.time
+(** Populate [bytes] upfront at mapping time, zeroing only
+    [zero_bytes] of them (an LWK may zero just the first 4 KiB of
+    each 2 MiB heap page). *)

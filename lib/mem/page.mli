@@ -1,0 +1,40 @@
+(** Page sizes and alignment arithmetic.
+
+    Both LWKs map physically contiguous memory with the largest page
+    size the mapping allows — up to 1 GB pages, "even on the stack"
+    (Section II-D3) — while Linux defaults to 4 KB with opportunistic
+    transparent huge pages. *)
+
+type size = Small | Large | Huge
+(** 4 KiB, 2 MiB and 1 GiB pages. *)
+
+val bytes : size -> Mk_engine.Units.size
+val to_string : size -> string
+val pp : Format.formatter -> size -> unit
+val all : size list
+(** Ordered small to huge. *)
+
+val align_up : int -> int -> int
+(** [align_up x a] rounds [x] up to a multiple of [a] ([a] > 0). *)
+
+val align_down : int -> int -> int
+val is_aligned : int -> int -> bool
+
+val round_up : int -> size -> int
+(** Round a byte count or address up to a page boundary. *)
+
+val round_down : int -> size -> int
+
+val count : bytes:int -> size -> int
+(** Pages of the given size needed to cover [bytes]. *)
+
+val best_fit : addr:int -> bytes:int -> size
+(** Largest page size usable for a mapping at [addr] spanning
+    [bytes]: both the address must be aligned and the length must be
+    at least one page of that size. *)
+
+val tlb_overhead : size -> float
+(** Multiplicative slowdown of streaming compute caused by TLB misses
+    and page walks for working sets mapped at this page size, relative
+    to an ideal (1 GiB) mapping.  Models the paper's "implication of
+    contiguous physical memory is better cache performance". *)

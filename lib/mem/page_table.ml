@@ -1,0 +1,87 @@
+let entries_per_table = 512
+
+(* Region sizes covered by one table at each level. *)
+let pt_span = 512 * 4096 (* one PT maps 2 MiB of 4K pages *)
+let pd_span = 512 * pt_span (* one PD maps 1 GiB *)
+let pdpt_span = 512 * pd_span (* one PDPT maps 512 GiB *)
+
+type t = {
+  (* For each level, how many leaf entries each table (keyed by the
+     table's base virtual address) currently holds.  A table exists
+     while it has a non-zero count; intermediate tables are implied:
+     a PT requires its PD/PDPT, etc. *)
+  pts : (int, int) Hashtbl.t;  (** 4K leaves, keyed by 2M-aligned base *)
+  pds : (int, int) Hashtbl.t;  (** 2M leaves + child PTs, keyed by 1G base *)
+  pdpts : (int, int) Hashtbl.t;  (** 1G leaves + child PDs, keyed by 512G base *)
+  mutable leaves : int;
+}
+
+let create () =
+  { pts = Hashtbl.create 64; pds = Hashtbl.create 16; pdpts = Hashtbl.create 4; leaves = 0 }
+
+let bump tbl key delta =
+  let v = delta + Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+  if v < 0 then invalid_arg "Page_table: negative entry count";
+  if v = 0 then Hashtbl.remove tbl key else Hashtbl.replace tbl key v
+
+let existed tbl key = Hashtbl.mem tbl key
+
+let walk_levels = function Page.Small -> 4 | Page.Large -> 3 | Page.Huge -> 2
+
+(* Apply [f] once per page of the mapping, tracking table creation. *)
+let for_each_page ~vaddr ~bytes ~page f =
+  let psize = Page.bytes page in
+  let first = Page.align_down vaddr psize in
+  let last = Page.align_up (vaddr + bytes) psize in
+  let n = (last - first) / psize in
+  for i = 0 to n - 1 do
+    f (first + (i * psize))
+  done
+
+let map t ~vaddr ~bytes ~page =
+  if bytes <= 0 then invalid_arg "Page_table.map: non-positive size";
+  for_each_page ~vaddr ~bytes ~page (fun addr ->
+      t.leaves <- t.leaves + 1;
+      match page with
+      | Page.Huge -> bump t.pdpts (Page.align_down addr pdpt_span) 1
+      | Page.Large ->
+          let pd = Page.align_down addr pd_span in
+          if not (existed t.pds pd) then
+            bump t.pdpts (Page.align_down addr pdpt_span) 1;
+          bump t.pds pd 1
+      | Page.Small ->
+          let pt = Page.align_down addr pt_span in
+          if not (existed t.pts pt) then begin
+            let pd = Page.align_down addr pd_span in
+            if not (existed t.pds pd) then
+              bump t.pdpts (Page.align_down addr pdpt_span) 1;
+            bump t.pds pd 1
+          end;
+          bump t.pts pt 1)
+
+let unmap t ~vaddr ~bytes ~page =
+  for_each_page ~vaddr ~bytes ~page (fun addr ->
+      t.leaves <- t.leaves - 1;
+      match page with
+      | Page.Huge -> bump t.pdpts (Page.align_down addr pdpt_span) (-1)
+      | Page.Large ->
+          let pd = Page.align_down addr pd_span in
+          bump t.pds pd (-1);
+          if not (existed t.pds pd) then
+            bump t.pdpts (Page.align_down addr pdpt_span) (-1)
+      | Page.Small ->
+          let pt = Page.align_down addr pt_span in
+          bump t.pts pt (-1);
+          if not (existed t.pts pt) then begin
+            let pd = Page.align_down addr pd_span in
+            bump t.pds pd (-1);
+            if not (existed t.pds pd) then
+              bump t.pdpts (Page.align_down addr pdpt_span) (-1)
+          end)
+
+let leaf_entries t = t.leaves
+
+let table_pages t =
+  Hashtbl.length t.pts + Hashtbl.length t.pds + Hashtbl.length t.pdpts
+
+let table_bytes t = table_pages t * 4096

@@ -1,0 +1,35 @@
+(** Four-level x86-64 page-table accounting.
+
+    Mapping granularity decides how much memory the page tables
+    themselves consume and how deep a TLB-miss walk goes: a 4 KiB
+    mapping needs entries on all four levels (PML4→PDPT→PD→PT), a
+    2 MiB mapping stops at the PD, a 1 GiB mapping at the PDPT.  The
+    LWKs' preference for the largest possible pages therefore shrinks
+    both the walk depth (captured by {!Page.tlb_overhead}) and the
+    page-table footprint this module accounts. *)
+
+type t
+
+val create : unit -> t
+
+val map : t -> vaddr:int -> bytes:int -> page:Page.size -> unit
+(** Account mappings covering [bytes] from [vaddr] at the given page
+    size.  Intermediate tables are shared between mappings that fall
+    into the same regions, as in a real radix tree. *)
+
+val unmap : t -> vaddr:int -> bytes:int -> page:Page.size -> unit
+
+val leaf_entries : t -> int
+(** Live leaf (translation) entries. *)
+
+val table_pages : t -> int
+(** 4 KiB pages consumed by the paging structures themselves
+    (excluding the root, which always exists). *)
+
+val table_bytes : t -> int
+
+val walk_levels : Page.size -> int
+(** Page-walk depth on a TLB miss: 4 for 4K, 3 for 2M, 2 for 1G. *)
+
+val entries_per_table : int
+(** 512 on x86-64. *)

@@ -1,0 +1,38 @@
+(** Physical memory of a node, organised by NUMA domain.
+
+    Each domain owns one or more contiguous regions managed by buddy
+    allocators.  A domain backed by several small regions models the
+    fragmentation an LWK suffers when it obtains its memory late
+    (IHK/McKernel), as opposed to one big region grabbed at boot
+    (mOS, Linux). *)
+
+type t
+
+val create : Mk_hw.Numa.t -> t
+(** One pristine region per domain covering its full capacity. *)
+
+val create_fragmented :
+  Mk_hw.Numa.t -> max_block:Mk_engine.Units.size -> t
+(** Like {!create} but each domain's memory is pre-split into regions
+    of at most [max_block] bytes, capping the largest contiguous
+    allocation (and hence the largest usable page size). *)
+
+val reserve : t -> domain:Mk_hw.Numa.id -> bytes:Mk_engine.Units.size -> unit
+(** Permanently remove capacity from a domain (memory kept by Linux
+    when an LWK partitions the node).  Takes from the front regions.
+    @raise Invalid_argument if the domain cannot supply it. *)
+
+type block = { domain : Mk_hw.Numa.id; addr : int; bytes : int }
+
+val alloc : t -> domain:Mk_hw.Numa.id -> bytes:int -> block option
+(** One contiguous block from one domain. *)
+
+val free : t -> block -> unit
+
+val free_bytes : t -> domain:Mk_hw.Numa.id -> int
+val used_bytes : t -> domain:Mk_hw.Numa.id -> int
+val largest_free : t -> domain:Mk_hw.Numa.id -> int
+
+val free_bytes_of_kind : t -> Mk_hw.Memory_kind.t -> int
+
+val numa : t -> Mk_hw.Numa.t

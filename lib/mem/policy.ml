@@ -1,0 +1,38 @@
+type t =
+  | Default of { home : Mk_hw.Numa.id }
+  | Preferred of { domain : Mk_hw.Numa.id }
+  | Bind of { domains : Mk_hw.Numa.id list }
+  | Interleave of { domains : Mk_hw.Numa.id list }
+  | Mcdram_first of { home : Mk_hw.Numa.id }
+  | Ddr_only of { home : Mk_hw.Numa.id }
+
+let filter_kind numa kind ids =
+  List.filter (fun id -> Mk_hw.Memory_kind.equal (Mk_hw.Numa.kind numa id) kind) ids
+
+let candidates t numa =
+  match t with
+  | Default { home } -> Mk_hw.Numa.by_distance numa ~from:home
+  | Preferred { domain } -> Mk_hw.Numa.by_distance numa ~from:domain
+  | Bind { domains } -> domains
+  | Interleave { domains } -> domains
+  | Mcdram_first { home } ->
+      let ordered = Mk_hw.Numa.by_distance numa ~from:home in
+      filter_kind numa Mk_hw.Memory_kind.Mcdram ordered
+      @ filter_kind numa Mk_hw.Memory_kind.Ddr4 ordered
+  | Ddr_only { home } ->
+      filter_kind numa Mk_hw.Memory_kind.Ddr4 (Mk_hw.Numa.by_distance numa ~from:home)
+
+let strict = function
+  | Bind _ -> true
+  | Default _ | Preferred _ | Interleave _ | Mcdram_first _ | Ddr_only _ -> false
+
+let to_string = function
+  | Default { home } -> Printf.sprintf "default(home=%d)" home
+  | Preferred { domain } -> Printf.sprintf "preferred(%d)" domain
+  | Bind { domains } ->
+      Printf.sprintf "bind(%s)" (String.concat "," (List.map string_of_int domains))
+  | Interleave { domains } ->
+      Printf.sprintf "interleave(%s)"
+        (String.concat "," (List.map string_of_int domains))
+  | Mcdram_first { home } -> Printf.sprintf "mcdram-first(home=%d)" home
+  | Ddr_only { home } -> Printf.sprintf "ddr-only(home=%d)" home

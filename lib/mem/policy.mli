@@ -1,0 +1,31 @@
+(** NUMA memory placement policies.
+
+    Linux exposes the standard policies ([Preferred], [Bind],
+    [Interleave]); the LWKs add what Linux in SNC-4 mode cannot
+    express (Section II-D3): [Mcdram_first], which tries every MCDRAM
+    domain nearest-first and silently spills to DDR4, and [Ddr_only].
+    A policy reduces to an ordered list of candidate domains plus a
+    strictness flag. *)
+
+type t =
+  | Default of { home : Mk_hw.Numa.id }
+      (** First-touch on the local domain, spill by distance. *)
+  | Preferred of { domain : Mk_hw.Numa.id }
+      (** [numactl -p]: one preferred domain, spill by distance.  In
+          SNC-4 mode Linux accepts only one domain here, which is the
+          limitation the paper calls out. *)
+  | Bind of { domains : Mk_hw.Numa.id list }
+      (** Strict: allocation fails rather than spill elsewhere. *)
+  | Interleave of { domains : Mk_hw.Numa.id list }
+  | Mcdram_first of { home : Mk_hw.Numa.id }
+      (** LWK policy: all MCDRAM domains nearest-first, then DDR4. *)
+  | Ddr_only of { home : Mk_hw.Numa.id }
+
+val candidates : t -> Mk_hw.Numa.t -> Mk_hw.Numa.id list
+(** Domains to try, in order. *)
+
+val strict : t -> bool
+(** Whether allocation must fail once the candidates are exhausted
+    (true only for [Bind]). *)
+
+val to_string : t -> string

@@ -1,0 +1,56 @@
+type cost_env = {
+  fabric : Mk_fabric.Fabric.t;
+  syscall_cost : Mk_syscall.Sysno.t -> Mk_engine.Units.time;
+  intra_ranks : int;
+}
+
+let edge_cost env ~src ~dst ~bytes =
+  let wire, control = Mk_fabric.Fabric.message env.fabric ~src ~dst ~bytes in
+  List.fold_left (fun acc s -> acc + env.syscall_cost s) wire control
+
+let allreduce env ~clocks ~bytes =
+  let n = Array.length clocks in
+  if n = 0 then invalid_arg "Collective.allreduce: no nodes";
+  let intra = Shm.intra_allreduce ~ranks:env.intra_ranks ~bytes in
+  let half = intra / 2 in
+  (* Local reduction to each node's leader. *)
+  Array.iteri (fun i c -> clocks.(i) <- c + half) clocks;
+  (* Binomial-tree reduce towards node 0. *)
+  let k = ref 1 in
+  while !k < n do
+    let i = ref 0 in
+    while !i < n do
+      let j = !i + !k in
+      if j < n then begin
+        let c = edge_cost env ~src:j ~dst:!i ~bytes in
+        clocks.(!i) <- max clocks.(!i) (clocks.(j) + c)
+      end;
+      i := !i + (2 * !k)
+    done;
+    k := !k * 2
+  done;
+  (* Broadcast back down the same tree. *)
+  let k = ref 1 in
+  while !k * 2 < n do
+    k := !k * 2
+  done;
+  while !k >= 1 do
+    let i = ref 0 in
+    while !i < n do
+      let j = !i + !k in
+      if j < n then begin
+        let c = edge_cost env ~src:!i ~dst:j ~bytes in
+        clocks.(j) <- max clocks.(j) (clocks.(!i) + c)
+      end;
+      i := !i + (2 * !k)
+    done;
+    k := !k / 2
+  done;
+  (* Local broadcast to the node's ranks. *)
+  Array.iteri (fun i c -> clocks.(i) <- c + (intra - half)) clocks
+
+let barrier env ~clocks = allreduce env ~clocks ~bytes:8
+
+let synchronise ~clocks =
+  let m = Array.fold_left max min_int clocks in
+  Array.iteri (fun i _ -> clocks.(i) <- m) clocks

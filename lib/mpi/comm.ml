@@ -1,0 +1,27 @@
+type t = { nodes : int; ranks_per_node : int }
+
+let make ~nodes ~ranks_per_node =
+  if nodes <= 0 || ranks_per_node <= 0 then
+    invalid_arg "Comm.make: geometry must be positive";
+  { nodes; ranks_per_node }
+
+let size t = t.nodes * t.ranks_per_node
+
+let check t rank =
+  if rank < 0 || rank >= size t then
+    invalid_arg (Printf.sprintf "Comm: bad rank %d" rank)
+
+let node_of_rank t rank =
+  check t rank;
+  rank / t.ranks_per_node
+
+let local_of_rank t rank =
+  check t rank;
+  rank mod t.ranks_per_node
+
+let rank_of t ~node ~local =
+  if node < 0 || node >= t.nodes || local < 0 || local >= t.ranks_per_node then
+    invalid_arg "Comm.rank_of: out of range";
+  (node * t.ranks_per_node) + local
+
+let same_node t a b = node_of_rank t a = node_of_rank t b

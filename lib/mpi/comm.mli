@@ -1,0 +1,13 @@
+(** Communicator geometry: ranks laid out over nodes.
+
+    Ranks are numbered node-major (Intel MPI's default on OFP):
+    rank = node * ranks_per_node + local. *)
+
+type t = { nodes : int; ranks_per_node : int }
+
+val make : nodes:int -> ranks_per_node:int -> t
+val size : t -> int
+val node_of_rank : t -> int -> int
+val local_of_rank : t -> int -> int
+val rank_of : t -> node:int -> local:int -> int
+val same_node : t -> int -> int -> bool

@@ -1,0 +1,36 @@
+(** Event-driven intra-node collective simulation.
+
+    Unlike {!Collective}, which advances per-node clocks analytically,
+    this module runs an actual discrete-event simulation of one
+    node's ranks performing a binomial-tree allreduce over the
+    shared-memory transport: every message is an event, every blocked
+    receiver wakes either by spinning on the ring (dedicated LWK
+    cores can afford to) or through a futex sleep/wake with its
+    kernel round-trip.  It serves as the micro-scale ground truth for
+    the analytic tier and as an osu_allreduce-style microbenchmark of
+    the transport. *)
+
+type wait_mode =
+  | Spin  (** poll the ring; zero wake-up cost on a dedicated core *)
+  | Futex_wake of Mk_engine.Units.time
+      (** sleep in futex; each message delivery pays this wake-up *)
+
+type result = {
+  completion : Mk_engine.Units.time;  (** when the last rank exits *)
+  messages : int;  (** total shm messages exchanged *)
+  wakeups : int;  (** futex wake-ups taken *)
+}
+
+val allreduce :
+  ranks:int ->
+  bytes:int ->
+  wait:wait_mode ->
+  ?skew:(int -> Mk_engine.Units.time) ->
+  unit ->
+  result
+(** Simulate one allreduce over [ranks] ranks; [skew rank] is each
+    rank's arrival time at the collective (default: all at 0). *)
+
+val latency_sweep :
+  ranks:int -> wait:wait_mode -> int list -> (int * Mk_engine.Units.time) list
+(** osu_allreduce-style: (message size, completion latency) pairs. *)

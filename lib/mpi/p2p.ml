@@ -1,0 +1,47 @@
+let neighbor_offsets ~nodes ~neighbors =
+  if neighbors <= 0 then []
+  else begin
+    let side =
+      int_of_float (Float.round (Float.cbrt (float_of_int (max 1 nodes))))
+    in
+    let side = max 1 side in
+    let candidates = [ 1; side; side * side ] in
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+    in
+    let pos = take ((neighbors + 1) / 2) candidates in
+    List.concat_map (fun o -> [ o; -o ]) pos
+    |> fun l -> take neighbors l
+  end
+
+let messages_per_node ~neighbors = neighbors
+
+let halo env ~clocks ~bytes ~neighbors =
+  let n = Array.length clocks in
+  if n > 1 && neighbors > 0 then begin
+    let offsets = neighbor_offsets ~nodes:n ~neighbors in
+    let send_cost = List.length offsets * List.fold_left
+                      (fun acc s -> acc + env.Collective.syscall_cost s)
+                      0
+                      (Mk_fabric.Nic.control_syscalls
+                         (Mk_fabric.Fabric.nic env.Collective.fabric)
+                         ~bytes)
+    in
+    let before = Array.copy clocks in
+    Array.iteri
+      (fun i c ->
+        let arrival =
+          List.fold_left
+            (fun acc off ->
+              let j = ((i + off) mod n + n) mod n in
+              let wire =
+                Mk_fabric.Fabric.wire_time env.Collective.fabric ~src:j ~dst:i
+                  ~bytes
+              in
+              max acc (before.(j) + send_cost + wire))
+            (c + send_cost) offsets
+        in
+        clocks.(i) <- arrival)
+      before
+  end

@@ -1,0 +1,22 @@
+(** Point-to-point exchanges over per-node clocks.
+
+    [halo] models a nearest-neighbour exchange: each node swaps
+    [bytes] with each of [neighbors] logical neighbours (ring offsets
+    derived from a 3D decomposition) and proceeds once the slowest
+    neighbour's message has arrived.  Control system calls are
+    charged per message to the sender — on an LWK these offload,
+    which is how a message-heavy workload like LAMMPS gives back its
+    single-node advantage at scale (Section IV). *)
+
+val neighbor_offsets : nodes:int -> neighbors:int -> int list
+(** Symmetric ring offsets approximating a 3D stencil on [nodes]. *)
+
+val halo :
+  Collective.cost_env ->
+  clocks:Mk_engine.Units.time array ->
+  bytes:int ->
+  neighbors:int ->
+  unit
+(** In place: clocks advance to the end of the exchange. *)
+
+val messages_per_node : neighbors:int -> int

@@ -1,0 +1,15 @@
+(* A KNL-core memcpy through a shared ring sustains a few GB/s. *)
+let copy_bandwidth = 3.0
+
+let latency = 550
+
+let message_time ~bytes =
+  latency + Mk_engine.Units.transfer_time ~bytes ~bw:copy_bandwidth
+
+let reduce_steps ~ranks =
+  if ranks <= 0 then invalid_arg "Shm.reduce_steps: ranks must be positive";
+  let rec go steps cover = if cover >= ranks then steps else go (steps + 1) (cover * 2) in
+  go 0 1
+
+let intra_allreduce ~ranks ~bytes =
+  2 * reduce_steps ~ranks * message_time ~bytes

@@ -1,0 +1,23 @@
+(** Intra-node transport over shared-memory windows.
+
+    Within a node, messages move through per-pair shared rings at
+    memory-copy speed.  The windows are ordinary shared mappings and
+    therefore demand-faulted by the first toucher; McKernel's
+    [--mpol-shm-premap] exists precisely to pre-populate them and
+    avoid "contention in the page fault handler" (Section IV) during
+    the first communication step — that cost is modelled in
+    {!Mk_kernel.Node.shm_window} and in the first-use penalty here. *)
+
+val copy_bandwidth : float
+(** Single-pair shared-memory copy bandwidth, bytes/ns. *)
+
+val latency : Mk_engine.Units.time
+(** Per-message software latency between two ranks on one node. *)
+
+val message_time : bytes:int -> Mk_engine.Units.time
+
+val reduce_steps : ranks:int -> int
+(** Tree steps of an intra-node reduction: ceil(log2 ranks). *)
+
+val intra_allreduce : ranks:int -> bytes:int -> Mk_engine.Units.time
+(** Reduce-then-broadcast inside the node: 2·log2(R) message steps. *)

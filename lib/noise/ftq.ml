@@ -1,0 +1,45 @@
+open Mk_engine
+
+type sample = { quantum : int; work_done : float }
+
+type summary = {
+  samples : sample list;
+  mean_work : float;
+  min_work : float;
+  perturbed_quanta : int;
+  worst_detour : Units.time;
+  noise_fraction : float;
+}
+
+let run ~profile ~quantum ~quanta ~seed =
+  if quantum <= 0 || quanta <= 0 then invalid_arg "Ftq.run: positive sizes required";
+  let rng = Rng.create seed in
+  let samples = ref [] in
+  let stolen_total = ref 0 in
+  let perturbed = ref 0 in
+  let worst = ref 0 in
+  for i = 0 to quanta - 1 do
+    let stolen = min quantum (Injector.delay profile rng ~dur:quantum) in
+    if stolen > 0 then incr perturbed;
+    if stolen > !worst then worst := stolen;
+    stolen_total := !stolen_total + stolen;
+    let work_done = float_of_int (quantum - stolen) /. float_of_int quantum in
+    samples := { quantum = i; work_done } :: !samples
+  done;
+  let samples = List.rev !samples in
+  let works = List.map (fun s -> s.work_done) samples in
+  {
+    samples;
+    mean_work = List.fold_left ( +. ) 0.0 works /. float_of_int quanta;
+    min_work = List.fold_left min 1.0 works;
+    perturbed_quanta = !perturbed;
+    worst_detour = !worst;
+    noise_fraction =
+      float_of_int !stolen_total /. float_of_int (quantum * quanta);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "mean work %.5f, min %.5f, %d/%d quanta perturbed, worst detour %a, noise %.5f%%"
+    s.mean_work s.min_work s.perturbed_quanta (List.length s.samples) Units.pp_time
+    s.worst_detour (100.0 *. s.noise_fraction)

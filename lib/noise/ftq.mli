@@ -1,0 +1,35 @@
+(** The Fixed Time Quantum (FTQ) benchmark, simulated.
+
+    FTQ is the standard instrument for quantifying OS noise (Sottile &
+    Minnich): a thread performs unit work in fixed wall-clock quanta
+    and records how much it completed in each; interference shows up
+    as quanta with missing work.  The paper's isolation claims —
+    McKernel cores silent, mOS cores nearly so, Linux cores perturbed
+    even under nohz_full (Section II-D2) — are exactly statements
+    about an FTQ trace's shape, so this module lets the simulator
+    produce those traces from its noise profiles. *)
+
+type sample = {
+  quantum : int;  (** index *)
+  work_done : float;  (** fraction of the quantum spent on user work *)
+}
+
+type summary = {
+  samples : sample list;
+  mean_work : float;
+  min_work : float;
+  perturbed_quanta : int;  (** quanta with any detour at all *)
+  worst_detour : Mk_engine.Units.time;
+  noise_fraction : float;  (** total stolen time / total time *)
+}
+
+val run :
+  profile:Profile.t ->
+  quantum:Mk_engine.Units.time ->
+  quanta:int ->
+  seed:int ->
+  summary
+(** Simulate [quanta] fixed quanta of length [quantum] under the
+    given noise profile. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,70 @@
+open Mk_engine
+
+let occurrences rng (s : Source.t) ~dur =
+  let lambda = float_of_int dur /. float_of_int s.Source.period in
+  Rng.poisson rng ~lambda
+
+(* Draw one detour length.  With sigma = 0 the length is the mean;
+   otherwise lognormal with that mean. *)
+let detour rng (s : Source.t) =
+  if s.Source.duration_sigma = 0.0 then s.Source.duration
+  else begin
+    let sigma = s.Source.duration_sigma in
+    (* E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); pick mu so the
+       mean matches the source's duration. *)
+    let mu = log (float_of_int s.Source.duration) -. (sigma *. sigma /. 2.0) in
+    max 0 (int_of_float (Rng.lognormal rng ~mu ~sigma))
+  end
+
+let source_delay rng s ~dur =
+  let k = occurrences rng s ~dur in
+  let rec go i acc = if i = 0 then acc else go (i - 1) (acc + detour rng s) in
+  go k 0
+
+let delay profile rng ~dur =
+  List.fold_left (fun acc s -> acc + source_delay rng s ~dur) 0 profile.Profile.sources
+
+let inflate profile rng ~dur = dur + delay profile rng ~dur
+
+(* Sample the maximum of [ranks] iid Poisson(lambda) variables by
+   inverse CDF at u^(1/ranks). *)
+let max_poisson rng ~lambda ~ranks =
+  if lambda <= 0.0 then 0
+  else begin
+    let u = Rng.float rng 1.0 in
+    let u = if u <= 0.0 then 1e-12 else u in
+    let target = u ** (1.0 /. float_of_int ranks) in
+    if lambda < 60.0 then begin
+      (* Walk the CDF. *)
+      let rec go k pmf cdf =
+        if cdf >= target || k > 10_000 then k
+        else begin
+          let pmf' = pmf *. lambda /. float_of_int (k + 1) in
+          go (k + 1) pmf' (cdf +. pmf')
+        end
+      in
+      let p0 = exp (-.lambda) in
+      go 0 p0 p0
+    end
+    else begin
+      (* Normal approximation to the Poisson. *)
+      let z = Rng.normal_quantile target in
+      max 0 (int_of_float (Float.round (lambda +. (z *. sqrt lambda))))
+    end
+  end
+
+let max_delay profile rng ~dur ~ranks =
+  if ranks <= 0 then invalid_arg "Injector.max_delay: ranks must be positive";
+  if ranks = 1 then delay profile rng ~dur
+  else
+    List.fold_left
+      (fun acc (s : Source.t) ->
+        let lambda = float_of_int dur /. float_of_int s.Source.period in
+        let k = max_poisson rng ~lambda ~ranks in
+        let rec go i sum = if i = 0 then sum else go (i - 1) (sum + detour rng s) in
+        acc + go k 0)
+      0 profile.Profile.sources
+
+let mean_delay profile ~dur =
+  let f = Profile.total_overhead profile in
+  int_of_float (f *. float_of_int dur)

@@ -1,0 +1,35 @@
+(** Sampling the interference a compute window suffers.
+
+    [delay] draws the total detour time one thread accumulates over a
+    window: per source, a Poisson number of occurrences times
+    (lognormally spread) detour lengths.
+
+    [max_delay] draws the detour of the *slowest* of [ranks]
+    independent threads — the quantity that gates a synchronising
+    collective.  It samples each source's occurrence count from the
+    max-order-statistic of [ranks] iid Poissons (inverse-CDF on
+    u^(1/ranks)) and sums across sources, a slight over-estimate of
+    the true max-of-sums that preserves monotonicity in [ranks].
+    This is the noise-amplification mechanism: with fine-grained
+    collectives the per-level max grows with scale, which is why the
+    Linux MiniFE curve collapses at 1,024+ nodes while the silent
+    LWKs keep scaling (Figure 5b). *)
+
+val delay : Profile.t -> Mk_engine.Rng.t -> dur:Mk_engine.Units.time -> Mk_engine.Units.time
+(** Total noise suffered by one thread over a compute window of
+    length [dur]. *)
+
+val inflate :
+  Profile.t -> Mk_engine.Rng.t -> dur:Mk_engine.Units.time -> Mk_engine.Units.time
+(** [dur] plus sampled noise. *)
+
+val max_delay :
+  Profile.t ->
+  Mk_engine.Rng.t ->
+  dur:Mk_engine.Units.time ->
+  ranks:int ->
+  Mk_engine.Units.time
+(** Noise suffered by the slowest of [ranks] threads over a window. *)
+
+val mean_delay : Profile.t -> dur:Mk_engine.Units.time -> Mk_engine.Units.time
+(** Deterministic expectation, for calibration and tests. *)

@@ -1,0 +1,50 @@
+type t = { name : string; sources : Source.t list }
+
+let make ~name sources = { name; sources }
+
+let total_overhead t =
+  List.fold_left (fun acc s -> acc +. Source.overhead s) 0.0 t.sources
+
+let silent = make ~name:"silent" []
+
+let mos_lwk = make ~name:"mos-lwk" [ Source.lwk_stray ]
+
+let linux_default =
+  make ~name:"linux-default"
+    [ Source.timer_tick; Source.kworker; Source.irq; Source.daemon ]
+
+let linux_nohz_full =
+  (* nohz_full quiets the tick and the daemons sit on the service
+     cores, but kworkers, IRQs and the occasional stray daemon or
+     balancer pass still reach application cores.  The stray source
+     is rare and heavy-tailed: irrelevant on one node, decisive for
+     the max over 131,072 ranks. *)
+  make ~name:"linux-nohz-full"
+    [
+      Source.timer_tick_nohz;
+      Source.kworker;
+      Source.irq;
+      Source.make ~name:"daemon-spill" ~period:(3 * Mk_engine.Units.sec)
+        ~duration:(150 * Mk_engine.Units.us) ~duration_sigma:0.8 ();
+    ]
+
+let linux_cotenant =
+  make ~name:"linux-cotenant"
+    [
+      Source.timer_tick;
+      Source.kworker;
+      Source.irq;
+      Source.make ~name:"cotenant-thread" ~period:(40 * Mk_engine.Units.ms)
+        ~duration:(2 * Mk_engine.Units.ms) ~duration_sigma:0.6 ();
+    ]
+
+let linux_service_core =
+  make ~name:"linux-service-core"
+    [
+      Source.timer_tick;
+      Source.kworker;
+      Source.irq;
+      Source.daemon;
+      Source.make ~name:"slurmd" ~period:(500 * Mk_engine.Units.ms)
+        ~duration:(2 * Mk_engine.Units.ms) ~duration_sigma:1.0 ();
+    ]

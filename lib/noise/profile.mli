@@ -1,0 +1,42 @@
+(** Noise profiles: the set of interference sources active on a CPU
+    core under a given kernel configuration.
+
+    The experimental setup in the paper reserves 4 of 68 cores for
+    Linux and its daemons; application cores run with [nohz_full].
+    Even so, residual kworkers, IRQs and occasional daemon spill-over
+    perturb Linux application cores, while LWK cores are silent
+    (McKernel) or almost silent (mOS). *)
+
+type t = { name : string; sources : Source.t list }
+
+val make : name:string -> Source.t list -> t
+
+val total_overhead : t -> float
+(** Mean fraction of CPU stolen by all sources combined. *)
+
+val silent : t
+(** No interference at all (McKernel LWK cores: Linux "cannot
+    interact with the McKernel scheduler", Section II-D2). *)
+
+val mos_lwk : t
+(** mOS LWK cores: rare stray kernel tasks only. *)
+
+val linux_default : t
+(** Linux application core without nohz_full. *)
+
+val linux_nohz_full : t
+(** Linux application core with the nohz_full boot argument — the
+    configuration used for the paper's Linux baseline runs. *)
+
+val linux_cotenant : t
+(** A Linux application core sharing the node with a co-located
+    tenant (in-situ analytics, a second job): the co-tenant's threads
+    periodically run on the application cores.  LWK cores are immune
+    by construction — their strong partitioning keeps foreign tasks
+    out (Sections II-D1, V: "multi-kernel's ability of performance
+    isolation"). *)
+
+val linux_service_core : t
+(** One of the four cores that keep the daemons: heavy interference.
+    Applications avoid these; relevant when a workload is forced to
+    share them. *)

@@ -1,0 +1,46 @@
+type descriptor = {
+  fd : int;
+  path : string;
+  mutable position : int;
+  mutable open_ : bool;
+}
+
+type t = { mutable table : descriptor list }
+
+let std path fd = { fd; path; position = 0; open_ = true }
+
+let create () =
+  { table = [ std "/dev/stdin" 0; std "/dev/stdout" 1; std "/dev/stderr" 2 ] }
+
+let lookup t fd = List.find_opt (fun d -> d.fd = fd && d.open_) t.table
+
+let open_file t ~path =
+  let used = List.filter_map (fun d -> if d.open_ then Some d.fd else None) t.table in
+  let rec lowest n = if List.mem n used then lowest (n + 1) else n in
+  let fd = lowest 0 in
+  let d = { fd; path; position = 0; open_ = true } in
+  t.table <- d :: List.filter (fun e -> e.fd <> fd) t.table;
+  fd
+
+let close t fd =
+  match lookup t fd with
+  | Some d ->
+      d.open_ <- false;
+      Ok ()
+  | None -> Error `Ebadf
+
+let seek t fd ~pos =
+  match lookup t fd with
+  | Some d ->
+      d.position <- pos;
+      Ok ()
+  | None -> Error `Ebadf
+
+let advance t fd ~bytes =
+  match lookup t fd with
+  | Some d ->
+      d.position <- d.position + bytes;
+      Ok ()
+  | None -> Error `Ebadf
+
+let open_count t = List.length (List.filter (fun d -> d.open_) t.table)

@@ -1,0 +1,27 @@
+(** File descriptor table.
+
+    Under IHK/McKernel the LWK "has no knowledge of file descriptors;
+    it simply returns the descriptor it receives from the proxy
+    process" (Section II-B) — so this table always lives on the Linux
+    side of a McKernel process, attached to the proxy. *)
+
+type descriptor = {
+  fd : int;
+  path : string;
+  mutable position : int;
+  mutable open_ : bool;
+}
+
+type t
+
+val create : unit -> t
+(** Starts with stdin/stdout/stderr occupied. *)
+
+val open_file : t -> path:string -> int
+(** Allocates the lowest free descriptor, POSIX-style. *)
+
+val close : t -> int -> (unit, [ `Ebadf ]) result
+val lookup : t -> int -> descriptor option
+val seek : t -> int -> pos:int -> (unit, [ `Ebadf ]) result
+val advance : t -> int -> bytes:int -> (unit, [ `Ebadf ]) result
+val open_count : t -> int

@@ -1,0 +1,10 @@
+type t = { mutable counter : int }
+
+let create ?(first = 1) () = { counter = first }
+
+let next t =
+  let v = t.counter in
+  t.counter <- v + 1;
+  v
+
+let peek t = t.counter

@@ -1,0 +1,7 @@
+(** Monotonic identifier generators for processes and threads. *)
+
+type t
+
+val create : ?first:int -> unit -> t
+val next : t -> int
+val peek : t -> int

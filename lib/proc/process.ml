@@ -1,0 +1,41 @@
+type proxy = {
+  proxy_pid : int;
+  fds : Fd_table.t;
+  mutable offloads_served : int;
+}
+
+type t = {
+  pid : int;
+  name : string;
+  address_space : Mk_mem.Address_space.t;
+  mutable tasks : Task.t list;
+  mutable proxy : proxy option;
+  own_fds : Fd_table.t;
+}
+
+let make ~pid ~name ~address_space =
+  {
+    pid;
+    name;
+    address_space;
+    tasks = [];
+    proxy = None;
+    own_fds = Fd_table.create ();
+  }
+
+let attach_proxy t ~proxy_pid =
+  let p = { proxy_pid; fds = Fd_table.create (); offloads_served = 0 } in
+  t.proxy <- Some p;
+  p
+
+let add_task t task = t.tasks <- task :: t.tasks
+
+let live_tasks t =
+  List.filter
+    (fun (task : Task.t) ->
+      match task.Task.state with Task.Exited _ -> false | _ -> true)
+    t.tasks
+
+let fds t = match t.proxy with Some p -> p.fds | None -> t.own_fds
+
+let has_proxy t = t.proxy <> None

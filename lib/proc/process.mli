@@ -1,0 +1,37 @@
+(** A process: address space plus tasks plus — when running on
+    McKernel — the Linux-side proxy bookkeeping.
+
+    "For every single process running on McKernel there is a process
+    spawned on Linux, called the proxy process … The actual set of
+    open files; i.e., file descriptor table, file positions, etc.,
+    are tracked by the Linux kernel." (Section II-B) *)
+
+type proxy = {
+  proxy_pid : int;
+  fds : Fd_table.t;  (** descriptor state lives Linux-side *)
+  mutable offloads_served : int;
+}
+
+type t = {
+  pid : int;
+  name : string;
+  address_space : Mk_mem.Address_space.t;
+  mutable tasks : Task.t list;
+  mutable proxy : proxy option;
+  own_fds : Fd_table.t;
+      (** used when no proxy exists (Linux, mOS: the kernel itself
+          tracks descriptors) *)
+}
+
+val make :
+  pid:int -> name:string -> address_space:Mk_mem.Address_space.t -> t
+
+val attach_proxy : t -> proxy_pid:int -> proxy
+val add_task : t -> Task.t -> unit
+val live_tasks : t -> Task.t list
+val fds : t -> Fd_table.t
+(** The descriptor table: the Linux-side proxy's when one exists
+    (McKernel "has no knowledge of file descriptors"), the process's
+    own otherwise. *)
+
+val has_proxy : t -> bool

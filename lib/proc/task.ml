@@ -1,0 +1,66 @@
+type state =
+  | Runnable
+  | Running of Mk_hw.Topology.cpu
+  | Blocked of string
+  | Migrated
+  | Exited of int
+
+type home = Lwk | Linux_side
+
+type accounting = {
+  mutable user_time : Mk_engine.Units.time;
+  mutable kernel_time : Mk_engine.Units.time;
+  mutable noise_time : Mk_engine.Units.time;
+  mutable syscalls_local : int;
+  mutable syscalls_offloaded : int;
+  mutable migrations : int;
+  mutable context_switches : int;
+}
+
+type t = {
+  tid : int;
+  pid : int;
+  name : string;
+  mutable state : state;
+  mutable home : home;
+  mutable affinity : Mk_hw.Topology.cpu list;
+  acct : accounting;
+}
+
+let make ~tid ~pid ~name ~affinity =
+  {
+    tid;
+    pid;
+    name;
+    state = Runnable;
+    home = Lwk;
+    affinity;
+    acct =
+      {
+        user_time = 0;
+        kernel_time = 0;
+        noise_time = 0;
+        syscalls_local = 0;
+        syscalls_offloaded = 0;
+        migrations = 0;
+        context_switches = 0;
+      };
+  }
+
+let is_runnable t = match t.state with Runnable -> true | _ -> false
+
+let run_on t cpu = t.state <- Running cpu
+let block t reason = t.state <- Blocked reason
+let wake t = match t.state with Exited _ -> () | _ -> t.state <- Runnable
+let exit t ~code = t.state <- Exited code
+
+let charge_user t d = t.acct.user_time <- t.acct.user_time + d
+let charge_kernel t d = t.acct.kernel_time <- t.acct.kernel_time + d
+let charge_noise t d = t.acct.noise_time <- t.acct.noise_time + d
+
+let state_to_string = function
+  | Runnable -> "runnable"
+  | Running cpu -> Printf.sprintf "running@cpu%d" cpu
+  | Blocked r -> Printf.sprintf "blocked(%s)" r
+  | Migrated -> "migrated"
+  | Exited c -> Printf.sprintf "exited(%d)" c

@@ -1,0 +1,51 @@
+(** Threads of execution — the simulator's [task_struct].
+
+    mOS "retains Linux kernel compatibility at the level of its
+    internal kernel data structures; e.g., the task_struct, which
+    enables mOS to move threads directly into Linux" (Section II-C);
+    this module is the shared representation both kernel models use,
+    with a [home] marker saying which kernel currently runs it. *)
+
+type state =
+  | Runnable
+  | Running of Mk_hw.Topology.cpu
+  | Blocked of string  (** reason, e.g. "futex", "mpi-recv" *)
+  | Migrated  (** temporarily executing on the other kernel *)
+  | Exited of int
+
+type home = Lwk | Linux_side
+
+type accounting = {
+  mutable user_time : Mk_engine.Units.time;
+  mutable kernel_time : Mk_engine.Units.time;
+  mutable noise_time : Mk_engine.Units.time;
+  mutable syscalls_local : int;
+  mutable syscalls_offloaded : int;
+  mutable migrations : int;
+  mutable context_switches : int;
+}
+
+type t = {
+  tid : int;
+  pid : int;
+  name : string;
+  mutable state : state;
+  mutable home : home;
+  mutable affinity : Mk_hw.Topology.cpu list;  (** allowed CPUs *)
+  acct : accounting;
+}
+
+val make :
+  tid:int -> pid:int -> name:string -> affinity:Mk_hw.Topology.cpu list -> t
+
+val is_runnable : t -> bool
+val run_on : t -> Mk_hw.Topology.cpu -> unit
+val block : t -> string -> unit
+val wake : t -> unit
+val exit : t -> code:int -> unit
+
+val charge_user : t -> Mk_engine.Units.time -> unit
+val charge_kernel : t -> Mk_engine.Units.time -> unit
+val charge_noise : t -> Mk_engine.Units.time -> unit
+
+val state_to_string : state -> string

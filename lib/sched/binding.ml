@@ -1,0 +1,73 @@
+type plan = {
+  rank_cpus : Mk_hw.Topology.cpu list array;
+  os_cores : Mk_hw.Topology.core list;
+  app_cores : Mk_hw.Topology.core list;
+}
+
+let partition_cores ~topo ~os_cores =
+  let n = Mk_hw.Topology.cores topo in
+  if os_cores < 0 || os_cores >= n then
+    invalid_arg "Binding.partition_cores: bad OS core count";
+  let all = List.init n (fun c -> c) in
+  let rec split i acc = function
+    | [] -> (List.rev acc, [])
+    | c :: rest ->
+        if i < os_cores then split (i + 1) (c :: acc) rest
+        else (List.rev acc, c :: rest)
+  in
+  split 0 [] all
+
+let block ~topo ~os_cores ~ranks ~threads_per_rank =
+  if ranks <= 0 then invalid_arg "Binding.block: ranks must be positive";
+  if threads_per_rank <= 0 then
+    invalid_arg "Binding.block: threads_per_rank must be positive";
+  let os, app = partition_cores ~topo ~os_cores in
+  let app_arr = Array.of_list app in
+  let napp = Array.length app_arr in
+  let ht = Mk_hw.Topology.threads_per_core topo in
+  if ranks * threads_per_rank > napp * ht then
+    invalid_arg
+      (Printf.sprintf "Binding.block: %d ranks x %d threads exceed %d cpus" ranks
+         threads_per_rank (napp * ht));
+  (* Cores per rank: spread cores evenly; hardware threads are used
+     once a rank needs more threads than it has cores. *)
+  let cores_per_rank = max 1 (napp / ranks) in
+  let rank_cpus =
+    Array.init ranks (fun r ->
+        let first = r * cores_per_rank mod napp in
+        let cores =
+          List.init (min cores_per_rank napp) (fun i -> app_arr.((first + i) mod napp))
+        in
+        (* Fill thread 0 of each core first, then thread 1, ... *)
+        let rec take needed thread cores_left acc =
+          if needed = 0 then List.rev acc
+          else
+            match cores_left with
+            | [] ->
+                if thread + 1 >= ht then List.rev acc
+                else take needed (thread + 1) cores acc
+            | core :: rest ->
+                let cpu = Mk_hw.Topology.cpu_of topo ~core ~thread in
+                take (needed - 1) thread rest (cpu :: acc)
+        in
+        take threads_per_rank 0 cores [])
+  in
+  { rank_cpus; os_cores = os; app_cores = app }
+
+let home_domain ~topo plan ~rank =
+  match plan.rank_cpus.(rank) with
+  | [] -> invalid_arg "Binding.home_domain: rank has no cpus"
+  | cpu :: _ -> Mk_hw.Topology.domain_of_cpu topo cpu
+
+let ranks_per_domain ~topo plan =
+  let counts = Hashtbl.create 8 in
+  Array.iteri
+    (fun _ cpus ->
+      match cpus with
+      | [] -> ()
+      | cpu :: _ ->
+          let d = Mk_hw.Topology.domain_of_cpu topo cpu in
+          Hashtbl.replace counts d (1 + Option.value (Hashtbl.find_opt counts d) ~default:0))
+    plan.rank_cpus;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,39 @@
+(** NUMA-aware binding of MPI ranks and threads to cores.
+
+    "mOS allows LWK resources to be divided at the time of
+    application launch.  This division respects NUMA boundaries and
+    binds threads to CPU cores accordingly.  McKernel provides a
+    similar feature for dealing with CPU cores" (Section II-D1).
+
+    The paper's node configuration dedicates 64 cores to the
+    application and reserves 4 for OS activity; ranks are laid out
+    blockwise so each rank's threads share a quadrant. *)
+
+type plan = {
+  rank_cpus : Mk_hw.Topology.cpu list array;  (** CPUs per rank *)
+  os_cores : Mk_hw.Topology.core list;
+  app_cores : Mk_hw.Topology.core list;
+}
+
+val partition_cores :
+  topo:Mk_hw.Topology.t -> os_cores:int -> Mk_hw.Topology.core list * Mk_hw.Topology.core list
+(** (os cores, application cores): the first [os_cores] cores go to
+    the OS — matching OFP practice where "daemons and other system
+    services run on the first four cores" (Section III-A). *)
+
+val block :
+  topo:Mk_hw.Topology.t ->
+  os_cores:int ->
+  ranks:int ->
+  threads_per_rank:int ->
+  plan
+(** Block distribution: consecutive cores per rank, hardware threads
+    filled core-first so a 2-thread rank uses 1 core's siblings only
+    when cores run out.
+    @raise Invalid_argument when the demand exceeds the node. *)
+
+val ranks_per_domain : topo:Mk_hw.Topology.t -> plan -> (Mk_hw.Numa.id * int) list
+(** How many ranks have their first CPU in each core-owning domain. *)
+
+val home_domain : topo:Mk_hw.Topology.t -> plan -> rank:int -> Mk_hw.Numa.id
+(** NUMA domain of the rank's first CPU. *)

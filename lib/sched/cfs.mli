@@ -1,0 +1,11 @@
+(** A CFS-flavoured fair scheduler: virtual-runtime ordered picks,
+    preemption after a latency-divided timeslice.  Context switches
+    are comparatively expensive and, unlike the LWK queue, tasks are
+    preempted even when alone in a time-sharing class — the timer
+    tick itself is modelled by the noise profile, the forced switch
+    here adds the direct scheduling cost. *)
+
+include Sched_intf.S
+
+val vruntime : t -> Mk_proc.Task.t -> Mk_engine.Units.time
+(** Accumulated virtual runtime (testing/inspection). *)

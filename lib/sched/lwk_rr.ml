@@ -1,0 +1,25 @@
+type t = {
+  queue : Mk_proc.Task.t Queue.t;
+  quantum : Mk_engine.Units.time option;
+}
+
+let create () = { queue = Queue.create (); quantum = None }
+
+let create_time_sharing ~quantum = { queue = Queue.create (); quantum = Some quantum }
+
+let name t =
+  match t.quantum with None -> "lwk-rr" | Some _ -> "lwk-rr-timesharing"
+
+let enqueue t task = Queue.add task t.queue
+
+let pick t = Queue.take_opt t.queue
+
+let requeue t task ~ran:_ = Queue.add task t.queue
+
+let queued t = Queue.length t.queue
+
+let timeslice t ~runnable:_ = t.quantum
+
+(* A cooperative switch is a function call plus register save — far
+   below a full CFS reschedule. *)
+let context_switch_cost = 600

@@ -1,0 +1,8 @@
+(** The LWK scheduler: round-robin, non-preemptive, cooperative
+    (Section II-D2).  With [time_sharing] enabled — the option
+    McKernel provides "only on specific CPU cores" — a quantum forces
+    rotation; otherwise tasks run until they yield or block. *)
+
+include Sched_intf.S
+
+val create_time_sharing : quantum:Mk_engine.Units.time -> t

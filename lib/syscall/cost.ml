@@ -1,0 +1,47 @@
+let entry = 180
+
+(* Rough service times on a 1.4 GHz KNL core.  Trivial getters are
+   tens of nanoseconds; VFS operations are microseconds; process
+   creation is tens of microseconds. *)
+let native s =
+  match Sysno.cls s with
+  | Sysno.Info -> (
+      match s with
+      | Sysno.Clock_gettime | Sysno.Gettimeofday -> 40
+      | _ -> 150)
+  | Sysno.Scheduling -> (
+      match s with
+      | Sysno.Sched_yield -> 250
+      | Sysno.Nanosleep -> 1_200
+      | _ -> 400)
+  | Sysno.Synchronisation -> 600
+  | Sysno.Signals -> 500
+  | Sysno.Memory -> (
+      match s with
+      | Sysno.Brk -> 300
+      | Sysno.Mmap | Sysno.Munmap -> 900
+      | Sysno.Move_pages -> 4_000
+      | _ -> 700)
+  | Sysno.Process -> (
+      match s with
+      | Sysno.Getpid | Sysno.Getppid | Sysno.Gettid -> 60
+      | Sysno.Fork | Sysno.Vfork -> 60_000
+      | Sysno.Clone -> 25_000
+      | Sysno.Execve -> 250_000
+      | Sysno.Ptrace -> 2_000
+      | _ -> 800)
+  | Sysno.Files -> (
+      match s with
+      | Sysno.Read | Sysno.Write | Sysno.Readv | Sysno.Writev -> 1_200
+      | Sysno.Open | Sysno.Openat -> 2_500
+      | Sysno.Ioctl -> 1_500
+      | Sysno.Poll | Sysno.Select | Sysno.Epoll_wait -> 1_800
+      | Sysno.Fsync -> 50_000
+      | _ -> 1_000)
+  | Sysno.Networking -> (
+      match s with
+      | Sysno.Sendmsg | Sysno.Recvmsg | Sysno.Sendto | Sysno.Recvfrom -> 2_000
+      | _ -> 3_000)
+  | Sysno.Ipc -> 2_000
+
+let local s = entry + native s

@@ -1,0 +1,16 @@
+(** Baseline in-kernel execution costs per system call.
+
+    [native s] is the time a call spends once inside a kernel that
+    implements it locally — excluding memory-management work, which
+    the address-space model charges separately, and excluding any
+    offload transport, which the IKC layer charges.  [entry] is the
+    user→kernel→user transition cost itself. *)
+
+val entry : Mk_engine.Units.time
+(** syscall/sysret transition, ~180 ns on KNL's slow cores. *)
+
+val native : Sysno.t -> Mk_engine.Units.time
+(** In-kernel service time for a locally implemented call. *)
+
+val local : Sysno.t -> Mk_engine.Units.time
+(** [entry + native s]: full local syscall latency. *)

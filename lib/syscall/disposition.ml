@@ -1,0 +1,64 @@
+type t = Local | Offload | Unsupported | Partial of string
+
+type table = Sysno.t -> t
+
+let is_local = function Local | Partial _ -> true | Offload | Unsupported -> false
+
+let to_string = function
+  | Local -> "local"
+  | Offload -> "offload"
+  | Unsupported -> "unsupported"
+  | Partial reason -> Printf.sprintf "partial(%s)" reason
+
+let linux _ = Local
+
+let mckernel s =
+  match Sysno.cls s with
+  | Sysno.Memory -> (
+      match s with
+      | Sysno.Move_pages -> Partial "work in progress"
+      | Sysno.Brk -> Partial "heap never returned to the system"
+      | _ -> Local)
+  | Sysno.Scheduling | Sysno.Synchronisation | Sysno.Signals -> Local
+  | Sysno.Process -> (
+      match s with
+      | Sysno.Getpid | Sysno.Getppid | Sysno.Gettid | Sysno.Set_tid_address
+      | Sysno.Exit | Sysno.Exit_group | Sysno.Kill | Sysno.Tgkill ->
+          Local
+      | Sysno.Clone -> Partial "esoteric flag combinations rejected"
+      | Sysno.Ptrace -> Partial "proxy boundary limits tracing"
+      | Sysno.Prctl -> Partial "proxy boundary limits prctl"
+      | Sysno.Fork | Sysno.Vfork | Sysno.Execve | Sysno.Wait4 | Sysno.Waitid ->
+          Offload
+      | _ -> Offload)
+  | Sysno.Info -> (
+      match s with
+      | Sysno.Clock_gettime | Sysno.Gettimeofday | Sysno.Getcpu -> Local
+      | _ -> Offload)
+  | Sysno.Files | Sysno.Networking | Sysno.Ipc -> Offload
+
+let mos s =
+  match Sysno.cls s with
+  | Sysno.Memory -> (
+      match s with
+      | Sysno.Move_pages -> Partial "work in progress"
+      | Sysno.Brk -> Partial "heap never returned to the system"
+      | Sysno.Set_mempolicy | Sysno.Mbind -> Partial "mOS-specific memory options"
+      | _ -> Local)
+  | Sysno.Scheduling | Sysno.Synchronisation | Sysno.Signals -> Local
+  | Sysno.Process -> (
+      match s with
+      | Sysno.Getpid | Sysno.Getppid | Sysno.Gettid | Sysno.Set_tid_address
+      | Sysno.Exit | Sysno.Exit_group | Sysno.Kill | Sysno.Tgkill | Sysno.Clone
+        ->
+          Local
+      | Sysno.Fork | Sysno.Vfork -> Partial "fork not fully implemented"
+      | Sysno.Ptrace -> Partial "one corner case failing"
+      | Sysno.Prctl -> Local
+      | Sysno.Execve | Sysno.Wait4 | Sysno.Waitid -> Offload
+      | _ -> Offload)
+  | Sysno.Info -> (
+      match s with
+      | Sysno.Clock_gettime | Sysno.Gettimeofday | Sysno.Getcpu -> Local
+      | _ -> Offload)
+  | Sysno.Files | Sysno.Networking | Sysno.Ipc -> Offload

@@ -1,0 +1,38 @@
+(** How a kernel treats each system call.
+
+    McKernel "implements only a small set of performance sensitive
+    system calls; the rest are offloaded to Linux" (Section II-B);
+    mOS does the same through thread migration.  A handful of calls
+    are unsupported or partially supported, which the compatibility
+    corpus (mk_compat) probes. *)
+
+type t =
+  | Local  (** implemented in this kernel *)
+  | Offload  (** forwarded to the Linux side *)
+  | Unsupported  (** fails with ENOSYS *)
+  | Partial of string
+      (** implemented but with documented deviations from Linux
+          semantics; the string names the deviation.  Plain calls
+          succeed, the LTP corner cases fail. *)
+
+type table = Sysno.t -> t
+
+val is_local : t -> bool
+val to_string : t -> string
+
+val linux : table
+(** Everything local. *)
+
+val mckernel : table
+(** Memory, threads (via clone), scheduling, signals, futex and the
+    trivial getters are local; file systems, networking, IPC and
+    process-creation machinery are offloaded through the proxy;
+    move_pages is work-in-progress; ptrace/prctl are hard to support
+    across the proxy boundary (Section II-D4); fork is supported via
+    the proxy but an esoteric clone-flag combination fails. *)
+
+val mos : table
+(** Like McKernel but: ptrace/prctl reuse the Linux implementation
+    directly (local-quality, one ptrace corner still failing), fork
+    is not fully implemented yet, and brk carries the HPC heap
+    deviation (Section III-D / IV). *)

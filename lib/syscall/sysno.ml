@@ -1,0 +1,129 @@
+type t =
+  | Mmap | Munmap | Brk | Mprotect | Madvise | Mremap | Msync
+  | Mlock | Munlock | Set_mempolicy | Mbind | Move_pages | Get_mempolicy
+  | Clone | Fork | Vfork | Execve | Exit | Exit_group | Wait4 | Waitid
+  | Getpid | Getppid | Gettid | Set_tid_address | Ptrace | Prctl | Kill | Tgkill
+  | Sched_yield | Sched_setaffinity | Sched_getaffinity
+  | Sched_setscheduler | Sched_getscheduler | Getcpu | Nanosleep
+  | Futex
+  | Rt_sigaction | Rt_sigprocmask | Rt_sigreturn | Sigaltstack
+  | Open | Openat | Close | Read | Write | Readv | Writev | Pread64 | Pwrite64
+  | Lseek | Stat | Fstat | Lstat | Access | Readlink | Getdents | Unlink
+  | Mkdir | Rename | Fcntl | Dup | Dup2 | Pipe | Ioctl | Poll | Select
+  | Epoll_create | Epoll_wait | Epoll_ctl | Fsync | Ftruncate
+  | Socket | Bind | Listen | Accept | Connect | Sendto | Recvfrom
+  | Sendmsg | Recvmsg | Setsockopt | Getsockopt | Shutdown
+  | Shmget | Shmat | Shmdt | Shmctl
+  | Clock_gettime | Gettimeofday | Times | Getrusage | Uname
+  | Getuid | Geteuid | Getgid | Getegid | Setrlimit | Getrlimit
+  | Sysinfo | Setitimer | Timer_create
+
+type cls =
+  | Memory
+  | Process
+  | Scheduling
+  | Synchronisation
+  | Signals
+  | Files
+  | Networking
+  | Ipc
+  | Info
+
+let cls = function
+  | Mmap | Munmap | Brk | Mprotect | Madvise | Mremap | Msync | Mlock | Munlock
+  | Set_mempolicy | Mbind | Move_pages | Get_mempolicy ->
+      Memory
+  | Clone | Fork | Vfork | Execve | Exit | Exit_group | Wait4 | Waitid | Getpid
+  | Getppid | Gettid | Set_tid_address | Ptrace | Prctl | Kill | Tgkill ->
+      Process
+  | Sched_yield | Sched_setaffinity | Sched_getaffinity | Sched_setscheduler
+  | Sched_getscheduler | Getcpu | Nanosleep ->
+      Scheduling
+  | Futex -> Synchronisation
+  | Rt_sigaction | Rt_sigprocmask | Rt_sigreturn | Sigaltstack -> Signals
+  | Open | Openat | Close | Read | Write | Readv | Writev | Pread64 | Pwrite64
+  | Lseek | Stat | Fstat | Lstat | Access | Readlink | Getdents | Unlink | Mkdir
+  | Rename | Fcntl | Dup | Dup2 | Pipe | Ioctl | Poll | Select | Epoll_create
+  | Epoll_wait | Epoll_ctl | Fsync | Ftruncate ->
+      Files
+  | Socket | Bind | Listen | Accept | Connect | Sendto | Recvfrom | Sendmsg
+  | Recvmsg | Setsockopt | Getsockopt | Shutdown ->
+      Networking
+  | Shmget | Shmat | Shmdt | Shmctl -> Ipc
+  | Clock_gettime | Gettimeofday | Times | Getrusage | Uname | Getuid | Geteuid
+  | Getgid | Getegid | Setrlimit | Getrlimit | Sysinfo | Setitimer | Timer_create
+    ->
+      Info
+
+let to_string = function
+  | Mmap -> "mmap" | Munmap -> "munmap" | Brk -> "brk" | Mprotect -> "mprotect"
+  | Madvise -> "madvise" | Mremap -> "mremap" | Msync -> "msync"
+  | Mlock -> "mlock" | Munlock -> "munlock" | Set_mempolicy -> "set_mempolicy"
+  | Mbind -> "mbind" | Move_pages -> "move_pages" | Get_mempolicy -> "get_mempolicy"
+  | Clone -> "clone" | Fork -> "fork" | Vfork -> "vfork" | Execve -> "execve"
+  | Exit -> "exit" | Exit_group -> "exit_group" | Wait4 -> "wait4"
+  | Waitid -> "waitid" | Getpid -> "getpid" | Getppid -> "getppid"
+  | Gettid -> "gettid" | Set_tid_address -> "set_tid_address"
+  | Ptrace -> "ptrace" | Prctl -> "prctl" | Kill -> "kill" | Tgkill -> "tgkill"
+  | Sched_yield -> "sched_yield" | Sched_setaffinity -> "sched_setaffinity"
+  | Sched_getaffinity -> "sched_getaffinity"
+  | Sched_setscheduler -> "sched_setscheduler"
+  | Sched_getscheduler -> "sched_getscheduler" | Getcpu -> "getcpu"
+  | Nanosleep -> "nanosleep" | Futex -> "futex"
+  | Rt_sigaction -> "rt_sigaction" | Rt_sigprocmask -> "rt_sigprocmask"
+  | Rt_sigreturn -> "rt_sigreturn" | Sigaltstack -> "sigaltstack"
+  | Open -> "open" | Openat -> "openat" | Close -> "close" | Read -> "read"
+  | Write -> "write" | Readv -> "readv" | Writev -> "writev"
+  | Pread64 -> "pread64" | Pwrite64 -> "pwrite64" | Lseek -> "lseek"
+  | Stat -> "stat" | Fstat -> "fstat" | Lstat -> "lstat" | Access -> "access"
+  | Readlink -> "readlink" | Getdents -> "getdents" | Unlink -> "unlink"
+  | Mkdir -> "mkdir" | Rename -> "rename" | Fcntl -> "fcntl" | Dup -> "dup"
+  | Dup2 -> "dup2" | Pipe -> "pipe" | Ioctl -> "ioctl" | Poll -> "poll"
+  | Select -> "select" | Epoll_create -> "epoll_create"
+  | Epoll_wait -> "epoll_wait" | Epoll_ctl -> "epoll_ctl" | Fsync -> "fsync"
+  | Ftruncate -> "ftruncate" | Socket -> "socket" | Bind -> "bind"
+  | Listen -> "listen" | Accept -> "accept" | Connect -> "connect"
+  | Sendto -> "sendto" | Recvfrom -> "recvfrom" | Sendmsg -> "sendmsg"
+  | Recvmsg -> "recvmsg" | Setsockopt -> "setsockopt"
+  | Getsockopt -> "getsockopt" | Shutdown -> "shutdown" | Shmget -> "shmget"
+  | Shmat -> "shmat" | Shmdt -> "shmdt" | Shmctl -> "shmctl"
+  | Clock_gettime -> "clock_gettime" | Gettimeofday -> "gettimeofday"
+  | Times -> "times" | Getrusage -> "getrusage" | Uname -> "uname"
+  | Getuid -> "getuid" | Geteuid -> "geteuid" | Getgid -> "getgid"
+  | Getegid -> "getegid" | Setrlimit -> "setrlimit" | Getrlimit -> "getrlimit"
+  | Sysinfo -> "sysinfo" | Setitimer -> "setitimer"
+  | Timer_create -> "timer_create"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all =
+  [
+    Mmap; Munmap; Brk; Mprotect; Madvise; Mremap; Msync; Mlock; Munlock;
+    Set_mempolicy; Mbind; Move_pages; Get_mempolicy; Clone; Fork; Vfork; Execve;
+    Exit; Exit_group; Wait4; Waitid; Getpid; Getppid; Gettid; Set_tid_address;
+    Ptrace; Prctl; Kill; Tgkill; Sched_yield; Sched_setaffinity;
+    Sched_getaffinity; Sched_setscheduler; Sched_getscheduler; Getcpu; Nanosleep;
+    Futex; Rt_sigaction; Rt_sigprocmask; Rt_sigreturn; Sigaltstack; Open; Openat;
+    Close; Read; Write; Readv; Writev; Pread64; Pwrite64; Lseek; Stat; Fstat;
+    Lstat; Access; Readlink; Getdents; Unlink; Mkdir; Rename; Fcntl; Dup; Dup2;
+    Pipe; Ioctl; Poll; Select; Epoll_create; Epoll_wait; Epoll_ctl; Fsync;
+    Ftruncate; Socket; Bind; Listen; Accept; Connect; Sendto; Recvfrom; Sendmsg;
+    Recvmsg; Setsockopt; Getsockopt; Shutdown; Shmget; Shmat; Shmdt; Shmctl;
+    Clock_gettime; Gettimeofday; Times; Getrusage; Uname; Getuid; Geteuid;
+    Getgid; Getegid; Setrlimit; Getrlimit; Sysinfo; Setitimer; Timer_create;
+  ]
+
+let of_class c = List.filter (fun s -> cls s = c) all
+
+let class_to_string = function
+  | Memory -> "memory"
+  | Process -> "process"
+  | Scheduling -> "scheduling"
+  | Synchronisation -> "synchronisation"
+  | Signals -> "signals"
+  | Files -> "files"
+  | Networking -> "networking"
+  | Ipc -> "ipc"
+  | Info -> "info"
+
+let count = List.length all

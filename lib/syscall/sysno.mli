@@ -1,0 +1,58 @@
+(** System calls the simulator knows about.
+
+    The set covers what the paper's discussion touches: the
+    performance-sensitive calls an LWK implements natively (memory
+    management, threading, scheduling, signals), the calls both LWKs
+    offload to Linux (file systems, networking, the /proc and /sys
+    pseudo files), and the compatibility-corner calls that show up in
+    the LTP discussion (move_pages, exotic clone flags, ptrace,
+    fork).  Classes drive both offloading policy and the generated
+    compatibility corpus. *)
+
+type t =
+  (* memory *)
+  | Mmap | Munmap | Brk | Mprotect | Madvise | Mremap | Msync
+  | Mlock | Munlock | Set_mempolicy | Mbind | Move_pages | Get_mempolicy
+  (* process & threads *)
+  | Clone | Fork | Vfork | Execve | Exit | Exit_group | Wait4 | Waitid
+  | Getpid | Getppid | Gettid | Set_tid_address | Ptrace | Prctl | Kill | Tgkill
+  (* scheduling *)
+  | Sched_yield | Sched_setaffinity | Sched_getaffinity
+  | Sched_setscheduler | Sched_getscheduler | Getcpu | Nanosleep
+  (* synchronisation *)
+  | Futex
+  (* signals *)
+  | Rt_sigaction | Rt_sigprocmask | Rt_sigreturn | Sigaltstack
+  (* files *)
+  | Open | Openat | Close | Read | Write | Readv | Writev | Pread64 | Pwrite64
+  | Lseek | Stat | Fstat | Lstat | Access | Readlink | Getdents | Unlink
+  | Mkdir | Rename | Fcntl | Dup | Dup2 | Pipe | Ioctl | Poll | Select
+  | Epoll_create | Epoll_wait | Epoll_ctl | Fsync | Ftruncate
+  (* networking *)
+  | Socket | Bind | Listen | Accept | Connect | Sendto | Recvfrom
+  | Sendmsg | Recvmsg | Setsockopt | Getsockopt | Shutdown
+  (* IPC / shared memory *)
+  | Shmget | Shmat | Shmdt | Shmctl
+  (* time & info *)
+  | Clock_gettime | Gettimeofday | Times | Getrusage | Uname
+  | Getuid | Geteuid | Getgid | Getegid | Setrlimit | Getrlimit
+  | Sysinfo | Setitimer | Timer_create
+
+type cls =
+  | Memory
+  | Process
+  | Scheduling
+  | Synchronisation
+  | Signals
+  | Files
+  | Networking
+  | Ipc
+  | Info
+
+val cls : t -> cls
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list
+val of_class : cls -> t list
+val class_to_string : cls -> string
+val count : int

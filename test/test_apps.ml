@@ -1,0 +1,194 @@
+(* Tests for the application models: registry, specifications and the
+   Lulesh allocation trace. *)
+
+open Mk_apps
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let gib = 1024 * 1024 * 1024
+
+let test_registry_complete () =
+  check_int "eight applications" 8 (List.length Registry.all);
+  check_int "seven in figure 4" 7 (List.length Registry.fig4)
+
+let test_registry_aliases () =
+  List.iter
+    (fun name -> check_bool name true (Registry.find name <> None))
+    [ "amg"; "AMG2013"; "ccs-qcd"; "qcd"; "geofem"; "hpcg"; "LAMMPS"; "milc";
+      "MiniFE"; "lulesh" ];
+  check_bool "unknown rejected" true (Registry.find "nonsense" = None)
+
+let test_ranks_fit_node () =
+  (* 64 application cores, 4 hardware threads each. *)
+  List.iter
+    (fun (a : App.t) ->
+      check_bool a.App.name true
+        (a.App.ranks_per_node * a.App.threads_per_rank <= 64 * 4))
+    Registry.all
+
+let test_only_minife_strong () =
+  List.iter
+    (fun (a : App.t) ->
+      let expected = if a.App.name = "MiniFE" then App.Strong else App.Weak in
+      check_bool a.App.name true (a.App.scaling = expected))
+    Registry.all
+
+let test_ccs_qcd_exceeds_mcdram () =
+  (* The paper's configuration: per-node footprint above 16 GB. *)
+  let a = Option.get (Registry.find "ccs-qcd") in
+  let total =
+    List.fold_left
+      (fun acc r -> acc + a.App.footprint_per_rank ~nodes:16 ~local_rank:r)
+      0
+      (List.init a.App.ranks_per_node (fun r -> r))
+  in
+  check_bool "above 16 GiB" true (total > 16 * gib);
+  check_bool "below DDR capacity" true (total < 92 * gib);
+  check_bool "linux runs in ddr" true a.App.linux_ddr_only
+
+let test_others_fit_mcdram () =
+  (* "All but CCS-QCD were sized to fit entirely into MCDRAM" — at
+     scale (Lulesh's heap grows beyond at -s 50, as Section IV
+     notes). *)
+  List.iter
+    (fun name ->
+      let a = Option.get (Registry.find name) in
+      let total =
+        List.fold_left
+          (fun acc r -> acc + a.App.footprint_per_rank ~nodes:64 ~local_rank:r)
+          0
+          (List.init a.App.ranks_per_node (fun r -> r))
+      in
+      check_bool name true (total <= 16 * gib))
+    [ "amg"; "geofem"; "hpcg"; "lammps"; "milc" ]
+
+let test_minife_strong_shrinks () =
+  let a = Option.get (Registry.find "minife") in
+  let f nodes = a.App.footprint_per_rank ~nodes ~local_rank:0 in
+  check_bool "halves with nodes" true (f 2 < f 1);
+  check_bool "keeps shrinking" true (f 1024 < f 64)
+
+let test_lammps_has_no_global_sync () =
+  let a = Option.get (Registry.find "lammps") in
+  check_int "no allreduce per step" 0 (App.allreduce_count (a.App.iteration ~nodes:64))
+
+let test_milc_reduction_heavy () =
+  let milc = Option.get (Registry.find "milc") in
+  let amg = Option.get (Registry.find "amg") in
+  check_bool "milc outsyncs amg" true
+    (App.allreduce_count (milc.App.iteration ~nodes:64)
+    > App.allreduce_count (amg.App.iteration ~nodes:64))
+
+let test_fom_scaling () =
+  let a = Option.get (Registry.find "amg") in
+  let fom = App.fom a ~nodes:4 ~total_time:Mk_engine.Units.sec in
+  check_bool "positive" true (fom > 0.0);
+  (* Double the time, half the figure of merit. *)
+  let half = App.fom a ~nodes:4 ~total_time:(2 * Mk_engine.Units.sec) in
+  Alcotest.(check (float 1e-6)) "inverse in time" (fom /. 2.0) half
+
+(* ------------------------------------------------------------------ *)
+(* The Lulesh trace *)
+
+let test_trace_counts_match_paper () =
+  let q, g, s = Lulesh_trace.count_stats (Lulesh_trace.full_trace ~scale:1.0) in
+  check_int "queries" Lulesh_trace.expected_queries q;
+  check_int "grows" Lulesh_trace.expected_grows g;
+  check_int "shrinks" Lulesh_trace.expected_shrinks s
+
+let test_trace_total_calls () =
+  let q, g, s = Lulesh_trace.count_stats (Lulesh_trace.full_trace ~scale:1.0) in
+  (* "a total of about 12,000 calls to brk()" *)
+  check_int "about 12k calls" 12_053 (q + g + s)
+
+let test_trace_heap_statistics () =
+  (* Replay through an address space and compare against Section IV:
+     87 MB peak, 22 GB cumulative. *)
+  let phys =
+    Mk_mem.Phys.create (Mk_hw.Topology.numa (Mk_hw.Knl.topology Mk_hw.Knl.Snc4_flat))
+  in
+  let asp =
+    Mk_mem.Address_space.create ~phys ~strategy:Mk_mem.Address_space.linux_strategy
+      ~default_policy:(Mk_mem.Policy.Default { home = 0 })
+      ()
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Mk_kernel.Workload.Brk delta -> (
+          match Mk_mem.Address_space.brk asp ~delta with
+          | Ok _ -> ()
+          | Error `Enomem -> Alcotest.fail "brk enomem")
+      | Mk_kernel.Workload.Touch_heap ->
+          ignore (Mk_mem.Address_space.touch_heap asp ~concurrency:1)
+      | _ -> ())
+    (Lulesh_trace.full_trace ~scale:1.0);
+  let st = Mk_mem.Address_space.stats asp in
+  let mib = 1024 * 1024 in
+  check_bool "peak near 85 MiB" true
+    (st.Mk_mem.Address_space.heap_peak > 80 * mib
+    && st.Mk_mem.Address_space.heap_peak < 90 * mib);
+  let gib_f = float_of_int st.Mk_mem.Address_space.cumulative_heap_growth /. (1024.0 ** 3.0) in
+  check_bool "cumulative near 22 GB" true (gib_f > 20.0 && gib_f < 24.0)
+
+let test_trace_scale () =
+  (* The -s 50 scale grows sizes by (50/30)^3 without changing call
+     counts. *)
+  let scale = (50.0 /. 30.0) ** 3.0 in
+  let q, g, s = Lulesh_trace.count_stats (Lulesh_trace.full_trace ~scale) in
+  check_int "queries unchanged" Lulesh_trace.expected_queries q;
+  check_int "grows unchanged" Lulesh_trace.expected_grows g;
+  check_int "shrinks unchanged" Lulesh_trace.expected_shrinks s
+
+let test_trace_iteration_bounds () =
+  check_bool "negative iteration rejected" true
+    (try
+       ignore (Lulesh_trace.iteration ~scale:1.0 ~iteration:(-1));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "beyond last rejected" true
+    (try
+       ignore (Lulesh_trace.iteration ~scale:1.0 ~iteration:Lulesh_trace.iterations);
+       false
+     with Invalid_argument _ -> true)
+
+let footprints_positive =
+  QCheck.Test.make ~name:"footprints are positive at any scale" ~count:100
+    QCheck.(pair (oneofl Registry.all) (int_range 1 2048))
+    (fun (app, nodes) ->
+      List.for_all
+        (fun r -> app.App.footprint_per_rank ~nodes ~local_rank:r > 0)
+        (List.init app.App.ranks_per_node (fun r -> r)))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_apps"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "aliases" `Quick test_registry_aliases;
+        ] );
+      ( "specs",
+        Alcotest.test_case "ranks fit node" `Quick test_ranks_fit_node
+        :: Alcotest.test_case "only minife strong" `Quick test_only_minife_strong
+        :: Alcotest.test_case "ccs-qcd exceeds mcdram" `Quick
+             test_ccs_qcd_exceeds_mcdram
+        :: Alcotest.test_case "others fit mcdram" `Quick test_others_fit_mcdram
+        :: Alcotest.test_case "minife shrinks" `Quick test_minife_strong_shrinks
+        :: Alcotest.test_case "lammps no global sync" `Quick
+             test_lammps_has_no_global_sync
+        :: Alcotest.test_case "milc reduction heavy" `Quick test_milc_reduction_heavy
+        :: Alcotest.test_case "fom scaling" `Quick test_fom_scaling
+        :: qsuite [ footprints_positive ] );
+      ( "lulesh_trace",
+        [
+          Alcotest.test_case "counts match paper" `Quick test_trace_counts_match_paper;
+          Alcotest.test_case "total calls" `Quick test_trace_total_calls;
+          Alcotest.test_case "heap statistics" `Quick test_trace_heap_statistics;
+          Alcotest.test_case "scale invariant counts" `Quick test_trace_scale;
+          Alcotest.test_case "iteration bounds" `Quick test_trace_iteration_bounds;
+        ] );
+    ]

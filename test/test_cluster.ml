@@ -1,0 +1,304 @@
+(* Integration tests for the cluster driver: the paper's headline
+   behaviours must emerge from the mechanisms.  These run real
+   (small) experiments, so a few are marked `Slow. *)
+
+open Mk_cluster
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let app name = Option.get (Mk_apps.Registry.find name)
+
+let run ?(nodes = 4) ?(seed = 42) scenario name =
+  Driver.run ~scenario ~app:(app name) ~nodes ~seed ()
+
+let test_scenarios () =
+  check_int "three scenarios" 3 (List.length Scenario.trio);
+  check_bool "find linux" true (Scenario.find "linux" <> None);
+  check_bool "find mckernel" true (Scenario.find "McKernel" <> None);
+  check_bool "unknown none" true (Scenario.find "hurd" = None)
+
+let test_run_basics () =
+  let r = run Scenario.mckernel "hpcg" in
+  check_int "nodes recorded" 4 r.Driver.nodes;
+  check_bool "positive fom" true (r.Driver.fom > 0.0);
+  check_bool "time decomposition" true
+    (r.Driver.total_time = r.Driver.setup_time + r.Driver.solve_time);
+  check_int "no failures" 0 r.Driver.failures
+
+let test_determinism () =
+  let a = run ~seed:7 Scenario.linux "amg" in
+  let b = run ~seed:7 Scenario.linux "amg" in
+  check_bool "same seed same fom" true (a.Driver.fom = b.Driver.fom)
+
+let test_seed_sensitivity () =
+  let a = run ~seed:7 Scenario.linux "amg" in
+  let b = run ~seed:8 Scenario.linux "amg" in
+  check_bool "different seeds differ" true (a.Driver.fom <> b.Driver.fom)
+
+let test_lwks_silent_deterministic_iterations () =
+  (* On a noise-free kernel the steady iteration has no jitter. *)
+  let r1 = run ~seed:1 Scenario.mckernel "geofem" in
+  let r2 = run ~seed:99 Scenario.mckernel "geofem" in
+  check_int "steady identical across seeds" r1.Driver.steady_iteration
+    r2.Driver.steady_iteration
+
+let test_ccs_qcd_ordering () =
+  (* The Figure-5a story: McKernel > mOS > Linux. *)
+  let mck = run Scenario.mckernel "ccs-qcd" in
+  let mos = run Scenario.mos "ccs-qcd" in
+  let linux = run Scenario.linux "ccs-qcd" in
+  check_bool "mckernel beats mos" true (mck.Driver.fom > mos.Driver.fom);
+  check_bool "mos beats linux" true (mos.Driver.fom > linux.Driver.fom);
+  check_bool "linux stuck in ddr" true (linux.Driver.mcdram_fraction < 0.05);
+  check_bool "lwk spill fraction ~16/22" true
+    (mck.Driver.mcdram_fraction > 0.6 && mck.Driver.mcdram_fraction < 0.85)
+
+let test_linux_faults_lwk_prefaults () =
+  let linux = run Scenario.linux "hpcg" in
+  check_bool "linux demand faults" true (linux.Driver.faults > 0);
+  (* The LWK prefaults everything except the shared-memory windows
+     (which are first-touch by nature); with --mpol-shm-premap even
+     those are populated upfront, leaving nothing to fault. *)
+  let premapped =
+    Driver.run
+      ~scenario:
+        (Scenario.mckernel_with
+           { Mk_kernel.Os.default_options with Mk_kernel.Os.mpol_shm_premap = true }
+           ~label:"mck-premap")
+      ~app:(app "hpcg") ~nodes:4 ~seed:42 ()
+  in
+  check_int "premapped lwk never faults" 0 premapped.Driver.faults
+
+let test_lammps_offloads () =
+  let mck = run ~nodes:16 Scenario.mckernel "lammps" in
+  let linux = run ~nodes:16 Scenario.linux "lammps" in
+  check_bool "lwk offloads nic control" true (mck.Driver.offloads_per_iteration > 0);
+  check_int "linux has none" 0 linux.Driver.offloads_per_iteration;
+  check_bool "linux wins at scale" true (linux.Driver.fom > mck.Driver.fom)
+
+let test_minife_collapse_at_scale () =
+  (* The Figure-5b knee, in miniature: the Linux-to-LWK gap widens
+     by scale even between 64 and 512 nodes. *)
+  let gap nodes =
+    let mck = run ~nodes Scenario.mckernel "minife" in
+    let linux = run ~nodes Scenario.linux "minife" in
+    mck.Driver.fom /. linux.Driver.fom
+  in
+  let small = gap 64 and large = gap 512 in
+  check_bool "gap grows with scale" true (large > small);
+  check_bool "meaningful collapse" true (large > 2.0)
+
+let test_lulesh_brk_mechanism () =
+  let mos = run ~nodes:8 Scenario.mos "lulesh" in
+  let heap_off =
+    Driver.run
+      ~scenario:
+        (Scenario.mos_with
+           { Mk_kernel.Os.default_options with Mk_kernel.Os.heap_management = false }
+           ~label:"mos-heap-off")
+      ~app:(app "lulesh") ~nodes:8 ~seed:42 ()
+  in
+  check_bool "heap optimisation pays" true (mos.Driver.fom > heap_off.Driver.fom)
+
+let test_experiment_point_statistics () =
+  let p =
+    Experiment.point ~scenario:Scenario.linux ~app:(app "amg") ~nodes:8 ~runs:5 ()
+  in
+  check_bool "ordered statistics" true
+    (p.Experiment.min_fom <= p.Experiment.median_fom
+    && p.Experiment.median_fom <= p.Experiment.max_fom);
+  check_int "nodes carried" 8 p.Experiment.nodes
+
+let test_relative_to () =
+  let a = app "amg" in
+  let counts = [ 1; 4 ] in
+  let lin = Experiment.sweep ~scenario:Scenario.linux ~app:a ~node_counts:counts ~runs:3 () in
+  let mck = Experiment.sweep ~scenario:Scenario.mckernel ~app:a ~node_counts:counts ~runs:3 () in
+  let rel = Experiment.relative_to ~baseline:lin mck in
+  check_int "two points" 2 (List.length rel);
+  List.iter (fun (_, r) -> check_bool "lwk at or above" true (r > 0.9)) rel
+
+let test_median_improvement () =
+  let data = [ [ (1, 1.0); (2, 1.2) ]; [ (1, 1.1) ] ] in
+  Alcotest.(check (float 1e-9)) "median" 1.1 (Experiment.median_improvement data);
+  Alcotest.(check (float 1e-9)) "best" 1.2 (Experiment.best_improvement data)
+
+
+let test_calibration_relations () =
+  (* The relationships the results rest on, without freezing every
+     number: MCDRAM is 4-6x DDR4; LWK switches are cheaper than CFS;
+     offload wake-ups are microseconds. *)
+  let ratio = Calibration.mcdram_ddr_ratio () in
+  check_bool "mcdram/ddr ratio in band" true (ratio > 4.0 && ratio < 6.5);
+  check_bool "every constant positive" true
+    (List.for_all (fun r -> r.Calibration.value >= 0.0) Calibration.all);
+  check_bool "lookup works" true (Calibration.find "fault-trap" <> None);
+  check_bool "unknown is none" true (Calibration.find "warp-drive" = None);
+  check_bool "table renders" true (String.length (Calibration.table ()) > 200)
+
+let test_table1_ordering () =
+  (* Table I in miniature: everyone in DDR4, heap ablation ordering. *)
+  let lulesh = app "lulesh" in
+  let ddr (s : Scenario.t) =
+    {
+      s with
+      Scenario.make =
+        (fun () ->
+          let os = s.Scenario.make () in
+          {
+            os with
+            Mk_kernel.Os.default_policy =
+              (fun ~home -> Mk_mem.Policy.Ddr_only { home });
+          });
+    }
+  in
+  let fom s app = (Driver.run ~scenario:s ~app ~nodes:1 ~seed:42 ()).Driver.fom in
+  let linux = fom (ddr Scenario.linux) { lulesh with Mk_apps.App.linux_ddr_only = true } in
+  let heap_off =
+    fom
+      (ddr
+         (Scenario.mos_with
+            { Mk_kernel.Os.default_options with Mk_kernel.Os.heap_management = false }
+            ~label:"off"))
+      lulesh
+  in
+  let mos = fom (ddr Scenario.mos) lulesh in
+  check_bool "mos > heap-off" true (mos > heap_off);
+  check_bool "heap-off > linux" true (heap_off > linux);
+  check_bool "mos within paper band (110-135% of linux)" true
+    (mos /. linux > 1.10 && mos /. linux < 1.35)
+
+let test_quadrant_mode_rescues_linux () =
+  (* The MODES ablation: Linux in quadrant mode spills to MCDRAM. *)
+  let a = { (app "ccs-qcd") with Mk_apps.App.linux_ddr_only = false } in
+  let quadrant =
+    {
+      Scenario.label = "Linux-quadrant";
+      make = (fun () -> Mk_kernel.Linux_os.create ~mode:Mk_hw.Knl.Quadrant_flat ());
+    }
+  in
+  let snc4 = Driver.run ~scenario:Scenario.linux ~app:(app "ccs-qcd") ~nodes:4 ~seed:42 () in
+  let quad = Driver.run ~scenario:quadrant ~app:a ~nodes:4 ~seed:42 () in
+  check_bool "quadrant linux uses mcdram" true (quad.Driver.mcdram_fraction > 0.5);
+  check_bool "quadrant linux faster" true (quad.Driver.fom > snc4.Driver.fom)
+
+let test_isolation_property () =
+  (* LWKs do not feel a co-located tenant; Linux does. *)
+  let a = app "geofem" in
+  let noisy (s : Scenario.t) =
+    {
+      s with
+      Scenario.make =
+        (fun () ->
+          let os = s.Scenario.make () in
+          if Mk_kernel.Os.is_lwk os then os
+          else { os with Mk_kernel.Os.app_noise = Mk_noise.Profile.linux_cotenant });
+    }
+  in
+  let fom s = (Driver.run ~scenario:s ~app:a ~nodes:16 ~seed:42 ()).Driver.fom in
+  let mck = fom Scenario.mckernel and mck_shared = fom (noisy Scenario.mckernel) in
+  let linux = fom Scenario.linux and linux_shared = fom (noisy Scenario.linux) in
+  check_bool "lwk unaffected" true (mck_shared = mck);
+  check_bool "linux degraded" true (linux_shared < linux *. 0.9)
+
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: event-driven vs analytic cluster tier *)
+
+let des_params ~nodes ~profile ~seed =
+  let fabric = Mk_fabric.Fabric.make ~nodes () in
+  let des =
+    Cluster_des.allreduce_loop ~nodes ~ranks_per_node:64 ~threads_per_rank:1
+      ~window:(2 * Mk_engine.Units.ms) ~iterations:10 ~bytes:8 ~profile ~fabric
+      ~seed
+  in
+  let analytic =
+    Cluster_des.analytic_allreduce_loop ~nodes ~ranks_per_node:64
+      ~threads_per_rank:1 ~window:(2 * Mk_engine.Units.ms) ~iterations:10 ~bytes:8
+      ~profile ~fabric ~seed
+  in
+  (des, analytic)
+
+let test_des_matches_analytic_silent () =
+  (* Same trees, same edge costs, zero noise: the event-driven and the
+     max-plus formulations must agree exactly. *)
+  List.iter
+    (fun nodes ->
+      let des, analytic = des_params ~nodes ~profile:Mk_noise.Profile.silent ~seed:1 in
+      check_int
+        (Printf.sprintf "exact at %d nodes" nodes)
+        analytic des.Cluster_des.completion)
+    [ 1; 2; 7; 16; 64; 100 ]
+
+let test_des_matches_analytic_noisy () =
+  (* With noise the two draw identical per-node samples (same split
+     streams), so they still agree exactly on the composed time. *)
+  let des, analytic =
+    des_params ~nodes:32 ~profile:Mk_noise.Profile.linux_nohz_full ~seed:42
+  in
+  check_int "noisy agreement" analytic des.Cluster_des.completion
+
+let test_des_message_count () =
+  let des, _ = des_params ~nodes:16 ~profile:Mk_noise.Profile.silent ~seed:1 in
+  (* Binomial reduce + broadcast over 16 nodes: 2*15 messages per
+     iteration, 10 iterations. *)
+  check_int "messages" (2 * 15 * 10) des.Cluster_des.messages
+
+let test_report_renders () =
+  let a = app "amg" in
+  let series =
+    Experiment.compare_scenarios ~scenarios:Scenario.trio ~app:a ~node_counts:[ 1; 2 ]
+      ~runs:3 ()
+  in
+  let baseline =
+    List.find
+      (fun (s : Experiment.series) -> s.Experiment.scenario_label = "Linux")
+      series
+  in
+  check_bool "fom table renders" true
+    (String.length (Report.fom_table ~app:a series) > 50);
+  check_bool "relative table renders" true
+    (String.length (Report.relative_table ~app:a ~baseline series) > 50);
+  check_bool "chart renders" true
+    (String.length (Report.relative_chart ~app:a ~baseline series) > 50);
+  check_bool "csv renders" true (String.length (Report.csv ~app:a series) > 50)
+
+let () =
+  Alcotest.run "mk_cluster"
+    [
+      ("scenario", [ Alcotest.test_case "trio" `Quick test_scenarios ]);
+      ( "driver",
+        [
+          Alcotest.test_case "basics" `Quick test_run_basics;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "lwk steady determinism" `Quick
+            test_lwks_silent_deterministic_iterations;
+          Alcotest.test_case "ccs-qcd ordering" `Slow test_ccs_qcd_ordering;
+          Alcotest.test_case "faults vs prefault" `Quick test_linux_faults_lwk_prefaults;
+          Alcotest.test_case "lammps offloads" `Quick test_lammps_offloads;
+          Alcotest.test_case "minife collapse" `Slow test_minife_collapse_at_scale;
+          Alcotest.test_case "lulesh brk" `Slow test_lulesh_brk_mechanism;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "point statistics" `Quick test_experiment_point_statistics;
+          Alcotest.test_case "relative_to" `Slow test_relative_to;
+          Alcotest.test_case "median improvement" `Quick test_median_improvement;
+          Alcotest.test_case "report renders" `Slow test_report_renders;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "DES matches analytic (silent)" `Quick
+            test_des_matches_analytic_silent;
+          Alcotest.test_case "DES matches analytic (noisy)" `Quick
+            test_des_matches_analytic_noisy;
+          Alcotest.test_case "DES message count" `Quick test_des_message_count;
+          Alcotest.test_case "calibration relations" `Quick test_calibration_relations;
+          Alcotest.test_case "table1 ordering" `Slow test_table1_ordering;
+          Alcotest.test_case "quadrant rescues linux" `Slow
+            test_quadrant_mode_rescues_linux;
+          Alcotest.test_case "isolation property" `Slow test_isolation_property;
+        ] );
+    ]

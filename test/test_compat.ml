@@ -1,0 +1,153 @@
+(* Tests for the LTP-like compatibility corpus: the exact counts of
+   Section III-D must be reproduced, and the failure causes must be
+   the ones the paper itemises. *)
+
+open Mk_compat
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_corpus_size () = check_int "3,328 tests" 3_328 (List.length Ltp.corpus)
+
+let test_corpus_names_unique () =
+  let names = List.map (fun (t : Ltp.test) -> t.Ltp.name) Ltp.corpus in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_linux_passes_everything () =
+  let s = Ltp.run_all Ltp.Linux_k in
+  check_int "zero failures" 0 s.Ltp.failed;
+  check_int "all pass" 3_328 s.Ltp.passed
+
+let test_mckernel_failure_count () =
+  let s = Ltp.run_all Ltp.Mckernel_k in
+  check_int "McKernel passes all but 32" 32 s.Ltp.failed
+
+let test_mos_failure_count () =
+  let s = Ltp.run_all Ltp.Mos_k in
+  check_int "111 tests out of 3,328 fail" 111 s.Ltp.failed
+
+let failures_for kernel sysno =
+  let s = Ltp.run_all kernel in
+  List.filter (fun ((t : Ltp.test), _) -> t.Ltp.sysno = sysno) s.Ltp.failures
+
+let test_eleven_move_pages () =
+  (* "Eleven of the 32 failing experiments attempt to test various
+     combinations of the move_pages() system call". *)
+  check_int "mckernel" 11
+    (List.length (failures_for Ltp.Mckernel_k Mk_syscall.Sysno.Move_pages));
+  check_int "mos too" 11
+    (List.length (failures_for Ltp.Mos_k Mk_syscall.Sysno.Move_pages))
+
+let test_clone_esoteric_flag () =
+  (* "Another representative experiment tests the error behavior of
+     an unusual clone() flag combination". *)
+  let fails = failures_for Ltp.Mckernel_k Mk_syscall.Sysno.Clone in
+  check_int "exactly one clone failure" 1 (List.length fails)
+
+let test_mos_ptrace_four_of_five () =
+  (* "ptrace() is working in mOS.  However, four of the five ptrace()
+     experiments fail." *)
+  let all_ptrace =
+    List.filter
+      (fun (t : Ltp.test) -> t.Ltp.sysno = Mk_syscall.Sysno.Ptrace)
+      Ltp.corpus
+  in
+  check_int "five ptrace tests" 5 (List.length all_ptrace);
+  check_int "four fail on mos" 4
+    (List.length (failures_for Ltp.Mos_k Mk_syscall.Sysno.Ptrace))
+
+let test_brk_shrink_fails_on_both () =
+  (* "tests that expect a page fault fail" after a heap shrink. *)
+  List.iter
+    (fun k ->
+      check_int
+        (Ltp.kernel_to_string k)
+        1
+        (List.length (failures_for k Mk_syscall.Sysno.Brk)))
+    [ Ltp.Mckernel_k; Ltp.Mos_k ]
+
+let test_mos_fork_cascade () =
+  (* "Many of the LTP tests rely on fork() to set up the experiment
+     … which results in many failures before the tests of the
+     targeted system calls even begin." *)
+  let s = Ltp.run_all Ltp.Mos_k in
+  let fork_setup =
+    List.filter (fun (_, reason) -> reason = "fork-setup") s.Ltp.failures
+  in
+  check_bool "the dominant cause" true (List.length fork_setup > 80);
+  (* McKernel offloads fork to Linux: no cascade. *)
+  let m = Ltp.run_all Ltp.Mckernel_k in
+  check_int "no cascade on mckernel" 0
+    (List.length (List.filter (fun (_, r) -> r = "fork-setup") m.Ltp.failures))
+
+let test_offloaded_classes_pass () =
+  (* An offloaded call executes on real Linux, so plain tests of
+     file/network calls pass on both LWKs. *)
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun (t : Ltp.test) ->
+          if
+            (not t.Ltp.needs_fork_setup)
+            && t.Ltp.corner = None
+            && Mk_syscall.Sysno.cls t.Ltp.sysno = Mk_syscall.Sysno.Files
+          then
+            check_bool t.Ltp.name true (Ltp.run_test kernel t = Ltp.Pass))
+        Ltp.corpus)
+    [ Ltp.Mckernel_k; Ltp.Mos_k ]
+
+let test_failures_by_cause () =
+  let s = Ltp.run_all Ltp.Mos_k in
+  let causes = Ltp.failures_by_cause s in
+  check_bool "fork-setup leads" true
+    (match causes with ("fork-setup", n) :: _ -> n = 93 | _ -> false);
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 causes in
+  check_int "causes account for every failure" s.Ltp.failed total
+
+let test_plain_tests_pass_everywhere () =
+  (* Partial dispositions pass their plain tests: McKernel supports
+     normal brk/clone/ptrace usage. *)
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun (t : Ltp.test) ->
+          if t.Ltp.corner = None && not t.Ltp.needs_fork_setup then
+            check_bool t.Ltp.name true (Ltp.run_test kernel t = Ltp.Pass))
+        Ltp.corpus)
+    [ Ltp.Mckernel_k; Ltp.Mos_k ]
+
+let corpus_deterministic =
+  QCheck.Test.make ~name:"verdicts are deterministic" ~count:100
+    QCheck.(oneofl Ltp.corpus)
+    (fun t ->
+      List.for_all
+        (fun k -> Ltp.run_test k t = Ltp.run_test k t)
+        [ Ltp.Linux_k; Ltp.Mckernel_k; Ltp.Mos_k ])
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_compat"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "size" `Quick test_corpus_size;
+          Alcotest.test_case "unique names" `Quick test_corpus_names_unique;
+        ] );
+      ( "verdicts",
+        Alcotest.test_case "linux passes all" `Quick test_linux_passes_everything
+        :: Alcotest.test_case "mckernel fails 32" `Quick test_mckernel_failure_count
+        :: Alcotest.test_case "mos fails 111" `Quick test_mos_failure_count
+        :: Alcotest.test_case "eleven move_pages" `Quick test_eleven_move_pages
+        :: Alcotest.test_case "clone esoteric flag" `Quick test_clone_esoteric_flag
+        :: Alcotest.test_case "ptrace 4 of 5" `Quick test_mos_ptrace_four_of_five
+        :: Alcotest.test_case "brk shrink" `Quick test_brk_shrink_fails_on_both
+        :: Alcotest.test_case "fork cascade" `Quick test_mos_fork_cascade
+        :: Alcotest.test_case "offloaded classes pass" `Quick
+             test_offloaded_classes_pass
+        :: Alcotest.test_case "failure causes" `Quick test_failures_by_cause
+        :: Alcotest.test_case "plain tests pass" `Quick
+             test_plain_tests_pass_everywhere
+        :: qsuite [ corpus_deterministic ] );
+    ]

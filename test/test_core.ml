@@ -1,0 +1,51 @@
+(* Tests for the public Multikernel facade. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_version () =
+  check_bool "semver-ish" true (String.length Multikernel.version >= 5)
+
+let test_scenarios () =
+  Alcotest.(check (list string))
+    "trio labels"
+    [ "McKernel"; "mOS"; "Linux" ]
+    (List.map
+       (fun (s : Multikernel.Cluster.Scenario.t) -> s.Multikernel.Cluster.Scenario.label)
+       Multikernel.scenarios)
+
+let test_app_lookup () =
+  check_int "eight apps" 8 (List.length Multikernel.app_names);
+  check_bool "find works" true (Multikernel.find_app "hpcg" <> None);
+  check_bool "unknown is none" true (Multikernel.find_app "doom" = None)
+
+let test_run_and_compare () =
+  let app = Option.get (Multikernel.find_app "geofem") in
+  let r =
+    Multikernel.run ~scenario:Multikernel.Cluster.Scenario.mckernel ~app ~nodes:2 ()
+  in
+  check_bool "fom positive" true (r.Multikernel.Cluster.Driver.fom > 0.0);
+  let all = Multikernel.compare_at ~app ~nodes:2 () in
+  check_int "three results" 3 (List.length all);
+  check_bool "labels match scenarios" true
+    (List.for_all (fun (l, _) -> List.mem l [ "McKernel"; "mOS"; "Linux" ]) all)
+
+let test_module_reexports () =
+  (* The facade exposes the full layer stack. *)
+  check_int "knl cores" 68 Multikernel.Hw.Knl.cores;
+  check_int "syscall count" 102 Multikernel.Syscall.Sysno.count;
+  check_int "ltp corpus" 3328 (List.length Multikernel.Compat.Ltp.corpus);
+  check_bool "engine units" true (Multikernel.Engine.Units.sec = 1_000_000_000)
+
+let () =
+  Alcotest.run "multikernel"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "version" `Quick test_version;
+          Alcotest.test_case "scenarios" `Quick test_scenarios;
+          Alcotest.test_case "app lookup" `Quick test_app_lookup;
+          Alcotest.test_case "run and compare" `Quick test_run_and_compare;
+          Alcotest.test_case "module re-exports" `Quick test_module_reexports;
+        ] );
+    ]

@@ -1,0 +1,455 @@
+(* Tests for the discrete-event engine: PRNG, heap, event queue,
+   statistics, units and table rendering. *)
+
+open Mk_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float msg = Alcotest.(check (float 1e-9)) msg
+let check_floatish msg = Alcotest.(check (float 1e-3)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units_constants () =
+  check_int "us" 1_000 Units.us;
+  check_int "ms" 1_000_000 Units.ms;
+  check_int "sec" 1_000_000_000 Units.sec;
+  check_int "mib" (1024 * 1024) Units.mib;
+  check_int "of_gib" (3 * 1024 * 1024 * 1024) (Units.of_gib 3)
+
+let test_units_conversions () =
+  check_int "of_us" 1_500 (Units.of_us 1.5);
+  check_int "of_ms" 2_500_000 (Units.of_ms 2.5);
+  check_float "to_sec" 1.5 (Units.to_sec (Units.of_sec 1.5))
+
+let test_units_pp () =
+  Alcotest.(check string) "ns" "999ns" (Units.time_to_string 999);
+  Alcotest.(check string) "us" "1.50us" (Units.time_to_string 1_500);
+  Alcotest.(check string) "ms" "2.00ms" (Units.time_to_string 2_000_000);
+  Alcotest.(check string) "s" "3.000s" (Units.time_to_string 3_000_000_000);
+  Alcotest.(check string) "b" "17B" (Units.size_to_string 17);
+  Alcotest.(check string) "gib" "2.00GiB" (Units.size_to_string (Units.of_gib 2))
+
+let test_transfer_time () =
+  (* 1000 bytes at 1 byte/ns -> 1000 ns *)
+  check_int "simple" 1000 (Units.transfer_time ~bytes:1000 ~bw:1.0);
+  check_int "zero bytes" 0 (Units.transfer_time ~bytes:0 ~bw:1.0);
+  check_int "min 1ns" 1 (Units.transfer_time ~bytes:1 ~bw:1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 42 and b = Rng.create 43 in
+  check_bool "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let c1 = Rng.split parent 1 and c2 = Rng.split parent 2 in
+  check_bool "split streams differ" false (Rng.bits64 c1 = Rng.bits64 c2);
+  (* Splitting must not advance the parent. *)
+  let p1 = Rng.create 7 in
+  let _ = Rng.split p1 1 in
+  let p2 = Rng.create 7 in
+  Alcotest.(check int64) "parent unperturbed" (Rng.bits64 p2) (Rng.bits64 p1)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.0 in
+    check_bool "in range" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 5" true (abs_float (mean -. 5.0) < 0.2)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to n do
+    Stats.Summary.add s (Rng.normal rng ~mu:2.0 ~sigma:3.0)
+  done;
+  check_bool "mean near 2" true (abs_float (Stats.Summary.mean s -. 2.0) < 0.1);
+  check_bool "stddev near 3" true (abs_float (Stats.Summary.stddev s -. 3.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let order = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] order
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~key:1 "a";
+  Heap.push h ~key:1 "b";
+  Heap.push h ~key:1 "c";
+  let vals = List.map snd (Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ] vals
+
+let test_heap_pop_empty () =
+  let h : int Heap.t = Heap.create () in
+  check_bool "pop empty" true (Heap.pop h = None);
+  check_bool "peek empty" true (Heap.peek h = None)
+
+let test_heap_grow () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 100 downto 1 do
+    Heap.push h ~key:i i
+  done;
+  check_int "length" 100 (Heap.length h);
+  check_int "min" 1 (fst (Heap.pop_exn h))
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k k) keys;
+      let drained = List.map fst (Heap.to_sorted_list h) in
+      drained = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_fires_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag s = log := (tag, Sim.now s) :: !log in
+  ignore (Sim.schedule sim ~at:30 (note "c"));
+  ignore (Sim.schedule sim ~at:10 (note "a"));
+  ignore (Sim.schedule sim ~at:20 (note "b"));
+  Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "order and clock"
+    [ ("a", 10); ("b", 20); ("c", 30) ]
+    (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let id = Sim.schedule sim ~at:5 (fun _ -> fired := true) in
+  Sim.cancel sim id;
+  Sim.run sim;
+  check_bool "cancelled event silent" false !fired;
+  check_int "pending zero" 0 (Sim.pending sim)
+
+let test_sim_schedule_from_handler () =
+  let sim = Sim.create () in
+  let total = ref 0 in
+  ignore
+    (Sim.schedule sim ~at:1 (fun s ->
+         incr total;
+         ignore (Sim.schedule_after s ~delay:4 (fun _ -> incr total))));
+  Sim.run sim;
+  check_int "chained events" 2 !total;
+  check_int "clock at last event" 5 (Sim.now sim)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~at:(i * 10) (fun _ -> incr count))
+  done;
+  Sim.run ~until:50 sim;
+  check_int "events up to 50" 5 !count;
+  check_int "clock clamped" 50 (Sim.now sim);
+  Sim.run sim;
+  check_int "rest fire" 10 !count
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:10 (fun _ -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "past schedule"
+    (Invalid_argument "Sim.schedule: time 5 precedes clock 10") (fun () ->
+      ignore (Sim.schedule sim ~at:5 (fun _ -> ())))
+
+let test_sim_advance_to () =
+  let sim = Sim.create () in
+  Sim.advance_to sim 100;
+  check_int "advanced" 100 (Sim.now sim);
+  ignore (Sim.schedule sim ~at:150 (fun _ -> ()));
+  Alcotest.check_raises "blocked by pending event"
+    (Invalid_argument "Sim.advance_to: pending event precedes target") (fun () ->
+      Sim.advance_to sim 200)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.Summary.count s);
+  check_float "mean" 2.5 (Stats.Summary.mean s);
+  check_float "min" 1.0 (Stats.Summary.min s);
+  check_float "max" 4.0 (Stats.Summary.max s);
+  check_float "total" 10.0 (Stats.Summary.total s);
+  check_floatish "variance" (5.0 /. 3.0) (Stats.Summary.variance s)
+
+let test_summary_merge () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  List.iter (Stats.Summary.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.Summary.add b) [ 3.0; 4.0; 5.0 ];
+  let m = Stats.Summary.merge a b in
+  let direct = Stats.Summary.create () in
+  List.iter (Stats.Summary.add direct) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "count" (Stats.Summary.count direct) (Stats.Summary.count m);
+  check_floatish "mean" (Stats.Summary.mean direct) (Stats.Summary.mean m);
+  check_floatish "variance" (Stats.Summary.variance direct) (Stats.Summary.variance m)
+
+let test_sample_median () =
+  check_float "odd" 3.0 (Stats.median_of [ 5.0; 1.0; 3.0 ]);
+  check_float "even" 2.5 (Stats.median_of [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_sample_percentile () =
+  let s = Stats.Sample.of_list (List.init 101 float_of_int) in
+  check_float "p0" 0.0 (Stats.Sample.percentile s 0.0);
+  check_float "p50" 50.0 (Stats.Sample.percentile s 50.0);
+  check_float "p100" 100.0 (Stats.Sample.percentile s 100.0);
+  check_float "p25" 25.0 (Stats.Sample.percentile s 25.0)
+
+let test_sample_minmax () =
+  let s = Stats.Sample.of_list [ 9.0; -3.0; 4.0 ] in
+  let lo, hi = Stats.Sample.minmax s in
+  check_float "min" (-3.0) lo;
+  check_float "max" 9.0 hi
+
+let test_histogram_buckets () =
+  let h = Stats.Histogram.create ~base:2.0 ~buckets:16 () in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 3.0; 3.9; 100.0 ];
+  check_int "total" 5 (Stats.Histogram.count h);
+  check_int "bucket0 [0,1)" 1 (Stats.Histogram.bucket_count h 0);
+  check_int "bucket1 [1,2)" 1 (Stats.Histogram.bucket_count h 1);
+  check_int "bucket2 [2,4)" 2 (Stats.Histogram.bucket_count h 2)
+
+let summary_matches_sample =
+  QCheck.Test.make ~name:"summary mean matches sample mean" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let sample = Stats.Sample.of_list xs in
+      abs_float (Stats.Summary.mean s -. Stats.Sample.mean sample) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "app"; "nodes"; "speedup" ]
+      [ [ "minife"; "1024"; "7.01" ]; [ "amg"; "16"; "1.09" ] ]
+  in
+  check_bool "contains header" true (contains_substring out "app");
+  check_bool "contains row" true (contains_substring out "minife")
+
+let test_csv () =
+  let out = Table.csv ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  Alcotest.(check string) "csv" "a,b\n1,2\n3,4\n" out
+
+let test_chart_smoke () =
+  let s = { Table.label = "linux"; points = [ (1.0, 1.0); (2.0, 4.0) ] } in
+  let out = Table.chart ~title:"t" [ s ] in
+  check_bool "non-empty" true (String.length out > 10)
+
+let test_chart_empty () =
+  let out = Table.chart ~title:"t" [ { Table.label = "x"; points = [] } ] in
+  check_bool "handles empty" true (String.length out > 0)
+
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_scalars () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "bool" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.Int 42));
+  Alcotest.(check string) "float" "1.5" (Json.to_string (Json.Float 1.5));
+  Alcotest.(check string) "string" "\"hi\"" (Json.to_string (Json.String "hi"))
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes and newline" "\"a\\\"b\\nc\""
+    (Json.to_string (Json.String "a\"b\nc"))
+
+let test_json_structures () =
+  let doc =
+    Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]); ("ok", Json.Bool false) ]
+  in
+  Alcotest.(check string) "compact" "{\"xs\":[1,2],\"ok\":false}" (Json.to_string doc);
+  check_bool "pretty contains newlines" true
+    (String.contains (Json.to_string_pretty doc) '\n')
+
+let test_json_empty_containers () =
+  Alcotest.(check string) "empty list" "[]" (Json.to_string (Json.List []));
+  Alcotest.(check string) "empty obj" "{}" (Json.to_string (Json.Obj []))
+
+(* ------------------------------------------------------------------ *)
+(* More distributions *)
+
+let test_poisson_mean () =
+  let rng = Rng.create 21 in
+  let n = 20_000 in
+  let s = ref 0 in
+  for _ = 1 to n do
+    s := !s + Rng.poisson rng ~lambda:3.5
+  done;
+  let mean = float_of_int !s /. float_of_int n in
+  check_bool "mean near 3.5" true (abs_float (mean -. 3.5) < 0.1)
+
+let test_poisson_large_lambda () =
+  let rng = Rng.create 22 in
+  let n = 5_000 in
+  let s = ref 0 in
+  for _ = 1 to n do
+    s := !s + Rng.poisson rng ~lambda:100.0
+  done;
+  let mean = float_of_int !s /. float_of_int n in
+  check_bool "normal approximation tracks" true (abs_float (mean -. 100.0) < 2.0)
+
+let test_poisson_zero () =
+  let rng = Rng.create 23 in
+  check_int "lambda 0" 0 (Rng.poisson rng ~lambda:0.0)
+
+let test_lognormal_positive () =
+  let rng = Rng.create 24 in
+  for _ = 1 to 1_000 do
+    check_bool "positive" true (Rng.lognormal rng ~mu:0.0 ~sigma:1.0 > 0.0)
+  done
+
+let test_pareto_support () =
+  let rng = Rng.create 25 in
+  for _ = 1 to 1_000 do
+    check_bool "at least scale" true (Rng.pareto rng ~scale:2.0 ~shape:1.5 >= 2.0)
+  done
+
+let test_normal_quantile_symmetry () =
+  Alcotest.(check (float 1e-6)) "median" 0.0 (Rng.normal_quantile 0.5);
+  check_bool "symmetric" true
+    (abs_float (Rng.normal_quantile 0.975 +. Rng.normal_quantile 0.025) < 1e-6);
+  check_bool "97.5th percentile" true
+    (abs_float (Rng.normal_quantile 0.975 -. 1.95996) < 1e-3)
+
+let test_chart_logx () =
+  let s =
+    { Table.label = "scaling"; points = List.init 12 (fun i -> (float_of_int (1 lsl i), 1.0)) }
+  in
+  let out = Table.chart ~logx:true ~title:"log sweep" [ s ] in
+  check_bool "mentions log scale" true
+    (contains_substring out "log scale")
+
+let test_histogram_pp_smoke () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 1.0; 10.0; 100.0; 1000.0 ];
+  let out = Format.asprintf "%a" Stats.Histogram.pp h in
+  check_bool "renders bars" true (String.length out > 20)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_engine"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "constants" `Quick test_units_constants;
+          Alcotest.test_case "conversions" `Quick test_units_conversions;
+          Alcotest.test_case "pretty printing" `Quick test_units_pp;
+          Alcotest.test_case "transfer time" `Quick test_transfer_time;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "heap",
+        Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties
+        :: Alcotest.test_case "pop empty" `Quick test_heap_pop_empty
+        :: Alcotest.test_case "grow" `Quick test_heap_grow
+        :: qsuite [ heap_qcheck ] );
+      ( "sim",
+        [
+          Alcotest.test_case "fires in order" `Quick test_sim_fires_in_order;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "schedule from handler" `Quick
+            test_sim_schedule_from_handler;
+          Alcotest.test_case "run until" `Quick test_sim_run_until;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "advance_to" `Quick test_sim_advance_to;
+        ] );
+      ( "stats",
+        Alcotest.test_case "summary basic" `Quick test_summary_basic
+        :: Alcotest.test_case "summary merge" `Quick test_summary_merge
+        :: Alcotest.test_case "median" `Quick test_sample_median
+        :: Alcotest.test_case "percentile" `Quick test_sample_percentile
+        :: Alcotest.test_case "minmax" `Quick test_sample_minmax
+        :: Alcotest.test_case "histogram" `Quick test_histogram_buckets
+        :: qsuite [ summary_matches_sample ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+          Alcotest.test_case "empty containers" `Quick test_json_empty_containers;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "poisson mean" `Slow test_poisson_mean;
+          Alcotest.test_case "poisson large lambda" `Slow test_poisson_large_lambda;
+          Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+          Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+          Alcotest.test_case "pareto support" `Quick test_pareto_support;
+          Alcotest.test_case "normal quantile" `Quick test_normal_quantile_symmetry;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "chart" `Quick test_chart_smoke;
+          Alcotest.test_case "chart empty" `Quick test_chart_empty;
+          Alcotest.test_case "chart logx" `Quick test_chart_logx;
+          Alcotest.test_case "histogram pp" `Quick test_histogram_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Tests for the interconnect model: fat-tree topology, NIC control
+   path and the alpha-beta message cost. *)
+
+open Mk_fabric
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_topology_hops () =
+  let t = Topology.make ~nodes:256 () in
+  check_int "self" 0 (Topology.hops t ~src:5 ~dst:5);
+  check_int "same edge" 1 (Topology.hops t ~src:0 ~dst:1);
+  (* 48-port edges -> 24 nodes per edge switch. *)
+  check_int "cross edge" 3 (Topology.hops t ~src:0 ~dst:200)
+
+let test_topology_same_edge () =
+  let t = Topology.make ~nodes:100 () in
+  check_bool "0 and 23 share" true (Topology.same_edge t 0 23);
+  check_bool "0 and 24 do not" false (Topology.same_edge t 0 24)
+
+let test_nic_eager_no_syscalls () =
+  let nic = Nic.make () in
+  Alcotest.(check (list reject)) "eager message is pure user space" []
+    (List.map (fun _ -> ()) (Nic.control_syscalls nic ~bytes:4096));
+  check_int "small list" 0 (List.length (Nic.control_syscalls nic ~bytes:4096))
+
+let test_nic_rendezvous_syscalls () =
+  let nic = Nic.make () in
+  let controls = Nic.control_syscalls nic ~bytes:(256 * 1024) in
+  check_int "two kernel crossings" 2 (List.length controls);
+  check_bool "registration ioctl present" true
+    (List.mem Mk_syscall.Sysno.Ioctl controls)
+
+let test_nic_threshold_boundary () =
+  let nic = Nic.make ~eager_threshold:10_000 () in
+  check_int "at threshold eager" 0 (List.length (Nic.control_syscalls nic ~bytes:10_000));
+  check_int "above threshold rendezvous" 2
+    (List.length (Nic.control_syscalls nic ~bytes:10_001))
+
+let test_wire_time_monotone_in_size () =
+  let f = Fabric.make ~nodes:64 () in
+  let small = Fabric.wire_time f ~src:0 ~dst:30 ~bytes:1024 in
+  let big = Fabric.wire_time f ~src:0 ~dst:30 ~bytes:(1024 * 1024) in
+  check_bool "bigger slower" true (big > small)
+
+let test_wire_time_hops_matter () =
+  let f = Fabric.make ~nodes:256 () in
+  let near = Fabric.wire_time f ~src:0 ~dst:1 ~bytes:8 in
+  let far = Fabric.wire_time f ~src:0 ~dst:200 ~bytes:8 in
+  check_bool "spine route slower" true (far > near);
+  check_int "exactly two extra hops" (2 * Fabric.per_hop) (far - near)
+
+let test_wire_time_self_zero () =
+  let f = Fabric.make ~nodes:8 () in
+  check_int "self message free" 0 (Fabric.wire_time f ~src:3 ~dst:3 ~bytes:4096)
+
+let test_message_packs_both () =
+  let f = Fabric.make ~nodes:8 () in
+  let wire, controls = Fabric.message f ~src:0 ~dst:1 ~bytes:(1024 * 1024) in
+  check_bool "wire positive" true (wire > 0);
+  check_int "controls for rendezvous" 2 (List.length controls);
+  let _, none = Fabric.message f ~src:2 ~dst:2 ~bytes:(1024 * 1024) in
+  check_int "no controls on self" 0 (List.length none)
+
+let test_latency_magnitude () =
+  (* An 8-byte nearest-neighbour MPI message is ~1 microsecond on
+     Omni-Path. *)
+  let f = Fabric.make ~nodes:2 () in
+  let t = Fabric.wire_time f ~src:0 ~dst:1 ~bytes:8 in
+  check_bool "about a microsecond" true (t > 1_000 && t < 3_000)
+
+let wire_time_triangleish =
+  QCheck.Test.make ~name:"wire time is symmetric" ~count:200
+    QCheck.(pair (int_range 0 255) (int_range 0 255))
+    (fun (a, b) ->
+      let f = Fabric.make ~nodes:256 () in
+      Fabric.wire_time f ~src:a ~dst:b ~bytes:512
+      = Fabric.wire_time f ~src:b ~dst:a ~bytes:512)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_fabric"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "hops" `Quick test_topology_hops;
+          Alcotest.test_case "same edge" `Quick test_topology_same_edge;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "eager pure user space" `Quick test_nic_eager_no_syscalls;
+          Alcotest.test_case "rendezvous syscalls" `Quick test_nic_rendezvous_syscalls;
+          Alcotest.test_case "threshold boundary" `Quick test_nic_threshold_boundary;
+        ] );
+      ( "fabric",
+        Alcotest.test_case "monotone in size" `Quick test_wire_time_monotone_in_size
+        :: Alcotest.test_case "hops matter" `Quick test_wire_time_hops_matter
+        :: Alcotest.test_case "self zero" `Quick test_wire_time_self_zero
+        :: Alcotest.test_case "message packs both" `Quick test_message_packs_both
+        :: Alcotest.test_case "latency magnitude" `Quick test_latency_magnitude
+        :: qsuite [ wire_time_triangleish ] );
+    ]

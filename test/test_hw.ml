@@ -1,0 +1,212 @@
+(* Tests for the hardware model: NUMA, topology, KNL configurations
+   and the bandwidth model. *)
+
+open Mk_hw
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float msg = Alcotest.(check (float 1e-9)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Memory kinds *)
+
+let test_kind_bandwidth_order () =
+  check_bool "MCDRAM faster" true
+    (Memory_kind.stream_bandwidth Memory_kind.Mcdram
+    > Memory_kind.stream_bandwidth Memory_kind.Ddr4)
+
+let test_kind_latency_order () =
+  (* KNL quirk: MCDRAM has higher idle latency than DDR4. *)
+  check_bool "MCDRAM latency higher" true
+    (Memory_kind.load_latency Memory_kind.Mcdram
+    > Memory_kind.load_latency Memory_kind.Ddr4)
+
+(* ------------------------------------------------------------------ *)
+(* NUMA *)
+
+let snc4 = Knl.topology Knl.Snc4_flat
+let numa = Topology.numa snc4
+
+let test_snc4_domain_count () = check_int "eight domains" 8 (Numa.count numa)
+
+let test_snc4_kinds () =
+  List.iter
+    (fun d -> check_bool "ddr" true (Numa.kind numa d = Memory_kind.Ddr4))
+    (Knl.ddr4_domains Knl.Snc4_flat);
+  List.iter
+    (fun d -> check_bool "mcdram" true (Numa.kind numa d = Memory_kind.Mcdram))
+    (Knl.mcdram_domains Knl.Snc4_flat)
+
+let test_snc4_capacities () =
+  let mcdram =
+    List.fold_left
+      (fun acc d -> acc + Numa.capacity numa d)
+      0
+      (Knl.mcdram_domains Knl.Snc4_flat)
+  in
+  let ddr =
+    List.fold_left
+      (fun acc d -> acc + Numa.capacity numa d)
+      0
+      (Knl.ddr4_domains Knl.Snc4_flat)
+  in
+  check_int "16G mcdram" Knl.mcdram_total mcdram;
+  check_int "96G ddr" Knl.ddr4_total ddr
+
+let test_distance_self () =
+  for d = 0 to Numa.count numa - 1 do
+    check_int "self distance" 10 (Numa.distance numa d d)
+  done
+
+let test_distance_symmetric () =
+  for i = 0 to Numa.count numa - 1 do
+    for j = 0 to Numa.count numa - 1 do
+      check_int "symmetric" (Numa.distance numa i j) (Numa.distance numa j i)
+    done
+  done
+
+let test_nearest_mcdram_is_same_quadrant () =
+  (* Core domain 2's nearest MCDRAM domain is 6 (same quadrant). *)
+  match Numa.nearest numa ~from:2 ~kind:Memory_kind.Mcdram with
+  | Some d -> check_int "same quadrant" 6 d
+  | None -> Alcotest.fail "no mcdram domain found"
+
+let test_by_distance_starts_home () =
+  match Numa.by_distance numa ~from:3 with
+  | home :: _ -> check_int "home first" 3 home
+  | [] -> Alcotest.fail "empty"
+
+let test_domains_of_kind () =
+  check_int "4 mcdram domains" 4
+    (List.length (Numa.domains_of_kind numa Memory_kind.Mcdram))
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_knl_counts () =
+  check_int "68 cores" 68 (Topology.cores snc4);
+  check_int "4 threads" 4 (Topology.threads_per_core snc4);
+  check_int "272 cpus" 272 (Topology.cpus snc4)
+
+let test_cpu_numbering_roundtrip () =
+  for core = 0 to 67 do
+    for thread = 0 to 3 do
+      let cpu = Topology.cpu_of snc4 ~core ~thread in
+      check_int "core roundtrip" core (Topology.core_of_cpu snc4 cpu);
+      check_int "thread roundtrip" thread (Topology.thread_of_cpu snc4 cpu)
+    done
+  done
+
+let test_siblings () =
+  let sibs = Topology.siblings snc4 0 in
+  Alcotest.(check (list int)) "siblings of cpu0" [ 0; 68; 136; 204 ] sibs
+
+let test_core_domains_partition () =
+  (* 17 cores per quadrant domain. *)
+  List.iter
+    (fun d -> check_int "17 cores" 17 (List.length (Topology.cores_of_domain snc4 d)))
+    [ 0; 1; 2; 3 ];
+  (* MCDRAM domains own no cores. *)
+  List.iter
+    (fun d -> check_int "no cores" 0 (List.length (Topology.cores_of_domain snc4 d)))
+    [ 4; 5; 6; 7 ]
+
+let test_quadrant_mode () =
+  let quad = Knl.topology Knl.Quadrant_flat in
+  check_int "two domains" 2 (Numa.count (Topology.numa quad));
+  check_int "all cores in domain 0" 68
+    (List.length (Topology.cores_of_domain quad 0))
+
+let test_bad_cpu_rejected () =
+  Alcotest.check_raises "bad cpu" (Invalid_argument "Topology: bad cpu 272")
+    (fun () -> ignore (Topology.core_of_cpu snc4 272))
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth *)
+
+let test_bandwidth_extremes () =
+  check_float "pure mcdram"
+    (Memory_kind.stream_bandwidth Memory_kind.Mcdram)
+    (Bandwidth.effective Bandwidth.all_mcdram);
+  check_float "pure ddr"
+    (Memory_kind.stream_bandwidth Memory_kind.Ddr4)
+    (Bandwidth.effective Bandwidth.all_ddr4)
+
+let test_bandwidth_monotonic () =
+  let prev = ref 0.0 in
+  for i = 0 to 10 do
+    let f = float_of_int i /. 10.0 in
+    let bw = Bandwidth.effective (Bandwidth.mixed ~mcdram_fraction:f) in
+    check_bool "monotonic in mcdram fraction" true (bw > !prev);
+    prev := bw
+  done
+
+let test_bandwidth_harmonic_not_linear () =
+  (* Harmonic mixing penalises the DDR share: the 50/50 mix is far
+     below the arithmetic mean. *)
+  let mix = Bandwidth.effective (Bandwidth.mixed ~mcdram_fraction:0.5) in
+  let arith =
+    (Memory_kind.stream_bandwidth Memory_kind.Mcdram
+    +. Memory_kind.stream_bandwidth Memory_kind.Ddr4)
+    /. 2.0
+  in
+  check_bool "below arithmetic mean" true (mix < arith)
+
+let test_per_rank_division () =
+  let full = Bandwidth.effective Bandwidth.all_mcdram in
+  check_float "64 ranks" (full /. 64.0) (Bandwidth.per_rank Bandwidth.all_mcdram ~ranks:64)
+
+let test_stream_time_scales () =
+  let t1 = Bandwidth.stream_time ~bytes:1_000_000 Bandwidth.all_mcdram ~ranks:1 in
+  let t64 = Bandwidth.stream_time ~bytes:1_000_000 Bandwidth.all_mcdram ~ranks:64 in
+  check_bool "contention slows" true (t64 > t1 * 32)
+
+let bandwidth_fraction_qcheck =
+  QCheck.Test.make ~name:"mixed bandwidth between DDR and MCDRAM" ~count:200
+    QCheck.(float_bound_inclusive 1.0)
+    (fun f ->
+      let bw = Bandwidth.effective (Bandwidth.mixed ~mcdram_fraction:f) in
+      bw >= Memory_kind.stream_bandwidth Memory_kind.Ddr4 -. 1e-9
+      && bw <= Memory_kind.stream_bandwidth Memory_kind.Mcdram +. 1e-9)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_hw"
+    [
+      ( "memory_kind",
+        [
+          Alcotest.test_case "bandwidth order" `Quick test_kind_bandwidth_order;
+          Alcotest.test_case "latency order" `Quick test_kind_latency_order;
+        ] );
+      ( "numa",
+        [
+          Alcotest.test_case "domain count" `Quick test_snc4_domain_count;
+          Alcotest.test_case "kinds" `Quick test_snc4_kinds;
+          Alcotest.test_case "capacities" `Quick test_snc4_capacities;
+          Alcotest.test_case "self distance" `Quick test_distance_self;
+          Alcotest.test_case "symmetric distance" `Quick test_distance_symmetric;
+          Alcotest.test_case "nearest mcdram" `Quick
+            test_nearest_mcdram_is_same_quadrant;
+          Alcotest.test_case "by_distance home first" `Quick
+            test_by_distance_starts_home;
+          Alcotest.test_case "domains of kind" `Quick test_domains_of_kind;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "knl counts" `Quick test_knl_counts;
+          Alcotest.test_case "cpu numbering" `Quick test_cpu_numbering_roundtrip;
+          Alcotest.test_case "siblings" `Quick test_siblings;
+          Alcotest.test_case "core domain partition" `Quick
+            test_core_domains_partition;
+          Alcotest.test_case "quadrant mode" `Quick test_quadrant_mode;
+          Alcotest.test_case "bad cpu rejected" `Quick test_bad_cpu_rejected;
+        ] );
+      ( "bandwidth",
+        Alcotest.test_case "extremes" `Quick test_bandwidth_extremes
+        :: Alcotest.test_case "monotonic" `Quick test_bandwidth_monotonic
+        :: Alcotest.test_case "harmonic" `Quick test_bandwidth_harmonic_not_linear
+        :: Alcotest.test_case "per rank" `Quick test_per_rank_division
+        :: Alcotest.test_case "stream time" `Quick test_stream_time_scales
+        :: qsuite [ bandwidth_fraction_qcheck ] );
+    ]

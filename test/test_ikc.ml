@@ -1,0 +1,131 @@
+(* Tests for inter-kernel communication: channels, topology-aware
+   routing and the two offload mechanisms. *)
+
+open Mk_ikc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let topo = Mk_hw.Knl.topology Mk_hw.Knl.Snc4_flat
+let linux_cores = [ 0; 1; 2; 3 ]
+
+let test_channel_quadrant_latency () =
+  (* Cores 0..16 share quadrant 0; core 20 is in quadrant 1. *)
+  let same = Channel.make ~topo ~lwk_core:10 ~linux_core:0 in
+  let cross = Channel.make ~topo ~lwk_core:20 ~linux_core:0 in
+  check_bool "same quadrant flagged" true same.Channel.same_quadrant;
+  check_bool "cross quadrant flagged" false cross.Channel.same_quadrant;
+  check_bool "cross is slower" true
+    (Channel.latency cross ~payload:64 > Channel.latency same ~payload:64)
+
+let test_channel_payload_cost () =
+  let ch = Channel.make ~topo ~lwk_core:10 ~linux_core:0 in
+  check_bool "bigger payload slower" true
+    (Channel.latency ch ~payload:65536 > Channel.latency ch ~payload:64)
+
+let test_channel_accounting () =
+  let ch = Channel.make ~topo ~lwk_core:10 ~linux_core:0 in
+  ignore (Channel.send ch ~payload:100);
+  ignore (Channel.send ch ~payload:28);
+  check_int "messages" 2 ch.Channel.messages;
+  check_int "bytes" 128 ch.Channel.bytes
+
+let test_router_prefers_same_quadrant () =
+  (* All four Linux cores sit in quadrant 0 (cores 0-3), so an LWK
+     core in quadrant 0 routes locally. *)
+  let r = Router.make ~topo ~linux_cores in
+  check_bool "quadrant-0 core routes to quadrant-0 linux core" true
+    (List.mem (Router.linux_target r ~lwk_core:10) linux_cores);
+  let ch = Router.channel r ~lwk_core:10 in
+  check_bool "same quadrant channel" true ch.Channel.same_quadrant
+
+let test_router_round_robin_fallback () =
+  let r = Router.make ~topo ~linux_cores in
+  (* Quadrant-2 cores have no local Linux core: deterministic spread. *)
+  let t1 = Router.linux_target r ~lwk_core:40 in
+  let t2 = Router.linux_target r ~lwk_core:41 in
+  check_bool "targets valid" true (List.mem t1 linux_cores && List.mem t2 linux_cores);
+  check_bool "spread differs" true (t1 <> t2)
+
+let test_router_channel_cached () =
+  let r = Router.make ~topo ~linux_cores in
+  let a = Router.channel r ~lwk_core:10 in
+  let b = Router.channel r ~lwk_core:10 in
+  check_bool "same channel object" true (a == b)
+
+let test_router_rejects_empty () =
+  check_bool "no linux cores" true
+    (try
+       ignore (Router.make ~topo ~linux_cores:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let mk_offload mech =
+  Offload.make mech ~router:(Router.make ~topo ~linux_cores)
+
+let test_offload_cost_exceeds_local () =
+  List.iter
+    (fun mech ->
+      let off = mk_offload mech in
+      List.iter
+        (fun sysno ->
+          let c = Offload.cost off ~lwk_core:10 ~sysno () in
+          check_bool "offload above native" true (c > Mk_syscall.Cost.local sysno))
+        [ Mk_syscall.Sysno.Getppid; Mk_syscall.Sysno.Open; Mk_syscall.Sysno.Ioctl ])
+    [ Offload.default_proxy; Offload.default_migration ]
+
+let test_offload_overhead_orders () =
+  (* Both mechanisms add microseconds; the proxy's wakeup makes it a
+     bit dearer than thread migration. *)
+  let proxy = mk_offload Offload.default_proxy in
+  let migration = mk_offload Offload.default_migration in
+  let po = Offload.overhead proxy ~lwk_core:10 () in
+  let mo = Offload.overhead migration ~lwk_core:10 () in
+  check_bool "proxy in microseconds" true (po > 1_000 && po < 20_000);
+  check_bool "migration in microseconds" true (mo > 1_000 && mo < 20_000);
+  check_bool "proxy dearer" true (po > mo)
+
+let test_offload_stats () =
+  let off = mk_offload Offload.default_proxy in
+  ignore (Offload.cost off ~lwk_core:10 ~sysno:Mk_syscall.Sysno.Read ());
+  ignore (Offload.cost off ~lwk_core:10 ~sysno:Mk_syscall.Sysno.Write ());
+  let s = Offload.stats off in
+  check_int "two offloads" 2 s.Offload.offloads;
+  check_bool "transport accounted" true (s.Offload.transport_time > 0);
+  check_bool "execution accounted" true (s.Offload.execution_time > 0)
+
+let offload_deterministic =
+  QCheck.Test.make ~name:"offload cost is deterministic per core" ~count:100
+    QCheck.(int_range 4 67)
+    (fun core ->
+      let off = mk_offload Offload.default_proxy in
+      let a = Offload.cost off ~lwk_core:core ~sysno:Mk_syscall.Sysno.Read () in
+      let b = Offload.cost off ~lwk_core:core ~sysno:Mk_syscall.Sysno.Read () in
+      a = b)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_ikc"
+    [
+      ( "channel",
+        [
+          Alcotest.test_case "quadrant latency" `Quick test_channel_quadrant_latency;
+          Alcotest.test_case "payload cost" `Quick test_channel_payload_cost;
+          Alcotest.test_case "accounting" `Quick test_channel_accounting;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "same quadrant preferred" `Quick
+            test_router_prefers_same_quadrant;
+          Alcotest.test_case "round robin fallback" `Quick
+            test_router_round_robin_fallback;
+          Alcotest.test_case "channel cached" `Quick test_router_channel_cached;
+          Alcotest.test_case "rejects empty" `Quick test_router_rejects_empty;
+        ] );
+      ( "offload",
+        Alcotest.test_case "costs exceed local" `Quick test_offload_cost_exceeds_local
+        :: Alcotest.test_case "overhead orders" `Quick test_offload_overhead_orders
+        :: Alcotest.test_case "stats" `Quick test_offload_stats
+        :: qsuite [ offload_deterministic ] );
+    ]

@@ -1,0 +1,656 @@
+(* Tests for the memory-management substrate: pages, the buddy
+   allocator, physical memory, policies and address-space behaviour
+   under the three kernels' strategies. *)
+
+open Mk_engine
+open Mk_mem
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let kib = 1024
+let mib = 1024 * kib
+let gib = 1024 * mib
+
+(* ------------------------------------------------------------------ *)
+(* Page *)
+
+let test_page_bytes () =
+  check_int "4K" (4 * kib) (Page.bytes Page.Small);
+  check_int "2M" (2 * mib) (Page.bytes Page.Large);
+  check_int "1G" gib (Page.bytes Page.Huge)
+
+let test_page_align () =
+  check_int "align up" 8192 (Page.align_up 4097 4096);
+  check_int "align up exact" 4096 (Page.align_up 4096 4096);
+  check_int "align down" 4096 (Page.align_down 8191 4096);
+  check_bool "is aligned" true (Page.is_aligned 8192 4096);
+  check_bool "is not aligned" false (Page.is_aligned 8193 4096)
+
+let test_page_count () =
+  check_int "one page" 1 (Page.count ~bytes:1 Page.Small);
+  check_int "exact" 2 (Page.count ~bytes:(8 * kib) Page.Small);
+  check_int "round up" 3 (Page.count ~bytes:((8 * kib) + 1) Page.Small)
+
+let test_page_best_fit () =
+  check_bool "huge" true (Page.best_fit ~addr:0 ~bytes:(2 * gib) = Page.Huge);
+  check_bool "large" true
+    (Page.best_fit ~addr:(2 * mib) ~bytes:(4 * mib) = Page.Large);
+  check_bool "misaligned falls to small" true
+    (Page.best_fit ~addr:4096 ~bytes:(2 * gib) = Page.Small);
+  check_bool "short falls to small" true
+    (Page.best_fit ~addr:0 ~bytes:(1 * mib) = Page.Small)
+
+let test_tlb_overhead_ordering () =
+  check_bool "small worst" true
+    (Page.tlb_overhead Page.Small > Page.tlb_overhead Page.Large);
+  check_bool "huge best" true (Page.tlb_overhead Page.Huge = 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Buddy *)
+
+let test_buddy_alloc_free_roundtrip () =
+  let b = Buddy.create ~base:0 ~bytes:(16 * mib) in
+  check_int "total" (16 * mib) (Buddy.total b);
+  let a1 = Buddy.alloc b ~bytes:(1 * mib) in
+  check_bool "allocated" true (a1 <> None);
+  check_int "used" (1 * mib) (Buddy.used_bytes b);
+  (match a1 with
+  | Some addr -> Buddy.free b ~addr ~bytes:(1 * mib)
+  | None -> ());
+  check_int "all free again" (16 * mib) (Buddy.free_bytes b)
+
+let test_buddy_alignment () =
+  let b = Buddy.create ~base:0 ~bytes:(4 * gib) in
+  match Buddy.alloc b ~bytes:gib with
+  | Some addr -> check_bool "1G aligned" true (addr mod gib = 0)
+  | None -> Alcotest.fail "1G alloc failed"
+
+let test_buddy_coalescing () =
+  let b = Buddy.create ~base:0 ~bytes:(8 * mib) in
+  let blocks =
+    List.init 8 (fun _ ->
+        match Buddy.alloc b ~bytes:mib with
+        | Some a -> a
+        | None -> Alcotest.fail "alloc failed")
+  in
+  check_int "exhausted" 0 (Buddy.free_bytes b);
+  List.iter (fun addr -> Buddy.free b ~addr ~bytes:mib) blocks;
+  check_int "coalesced to full region" (8 * mib) (Buddy.largest_free b)
+
+let test_buddy_fragmentation_metric () =
+  let b = Buddy.create ~base:0 ~bytes:(8 * mib) in
+  Alcotest.(check (float 1e-9)) "pristine" 0.0 (Buddy.fragmentation b);
+  (* Allocate everything, free alternating blocks: free space exists
+     but the largest block is 1 MiB. *)
+  let blocks = List.init 8 (fun _ -> Option.get (Buddy.alloc b ~bytes:mib)) in
+  List.iteri (fun i addr -> if i mod 2 = 0 then Buddy.free b ~addr ~bytes:mib) blocks;
+  check_int "half free" (4 * mib) (Buddy.free_bytes b);
+  check_int "largest stuck at 1M" mib (Buddy.largest_free b);
+  check_bool "fragmented" true (Buddy.fragmentation b > 0.5)
+
+let test_buddy_oversize_rejected () =
+  let b = Buddy.create ~base:0 ~bytes:(4 * mib) in
+  check_bool "oversize" true (Buddy.alloc b ~bytes:(8 * mib) = None)
+
+let test_buddy_double_free_rejected () =
+  let b = Buddy.create ~base:0 ~bytes:(4 * mib) in
+  let addr = Option.get (Buddy.alloc b ~bytes:mib) in
+  Buddy.free b ~addr ~bytes:mib;
+  check_bool "double free raises" true
+    (try
+       Buddy.free b ~addr ~bytes:mib;
+       false
+     with Invalid_argument _ -> true)
+
+let test_buddy_non_pow2_region () =
+  (* 3 MiB region is fully usable. *)
+  let b = Buddy.create ~base:0 ~bytes:(3 * mib) in
+  check_int "full capacity" (3 * mib) (Buddy.free_bytes b);
+  let a1 = Buddy.alloc b ~bytes:(2 * mib) in
+  let a2 = Buddy.alloc b ~bytes:mib in
+  check_bool "both served" true (a1 <> None && a2 <> None)
+
+let buddy_conservation_qcheck =
+  QCheck.Test.make ~name:"buddy conserves bytes across random ops" ~count:100
+    QCheck.(list (int_range 0 9))
+    (fun ops ->
+      let b = Buddy.create ~base:0 ~bytes:(32 * mib) in
+      let live = ref [] in
+      List.iter
+        (fun op ->
+          if op < 6 then begin
+            (* alloc of 2^op pages *)
+            let bytes = 4096 * (1 lsl op) in
+            match Buddy.alloc b ~bytes with
+            | Some addr -> live := (addr, bytes) :: !live
+            | None -> ()
+          end
+          else begin
+            match !live with
+            | (addr, bytes) :: rest ->
+                Buddy.free b ~addr ~bytes;
+                live := rest
+            | [] -> ()
+          end)
+        ops;
+      let live_bytes =
+        List.fold_left
+          (fun acc (_, bytes) ->
+            (* buddy rounds to pow2 pages, all our sizes already are *)
+            acc + bytes)
+          0 !live
+      in
+      Buddy.free_bytes b + live_bytes = 32 * mib)
+
+(* ------------------------------------------------------------------ *)
+(* Phys *)
+
+let numa = Mk_hw.Topology.numa (Mk_hw.Knl.topology Mk_hw.Knl.Snc4_flat)
+
+let test_phys_capacity () =
+  let p = Phys.create numa in
+  check_int "ddr domain" (24 * gib) (Phys.free_bytes p ~domain:0);
+  check_int "mcdram domain" (4 * gib) (Phys.free_bytes p ~domain:4)
+
+let test_phys_alloc_free () =
+  let p = Phys.create numa in
+  match Phys.alloc p ~domain:4 ~bytes:gib with
+  | Some block ->
+      check_int "used" gib (Phys.used_bytes p ~domain:4);
+      Phys.free p block;
+      check_int "freed" 0 (Phys.used_bytes p ~domain:4)
+  | None -> Alcotest.fail "alloc failed"
+
+let test_phys_fragmented_caps_largest () =
+  let p = Phys.create_fragmented numa ~max_block:(512 * mib) in
+  check_bool "largest capped" true (Phys.largest_free p ~domain:4 <= 512 * mib);
+  check_bool "1G contiguous impossible" true (Phys.alloc p ~domain:4 ~bytes:gib = None);
+  (* But total capacity is intact. *)
+  check_bool "capacity intact" true (Phys.free_bytes p ~domain:4 >= 4 * gib - 16 * mib)
+
+let test_phys_reserve () =
+  let p = Phys.create numa in
+  Phys.reserve p ~domain:0 ~bytes:(4 * gib);
+  check_int "reserved" (20 * gib) (Phys.free_bytes p ~domain:0)
+
+let test_phys_kind_totals () =
+  let p = Phys.create numa in
+  check_int "mcdram total" (16 * gib)
+    (Phys.free_bytes_of_kind p Mk_hw.Memory_kind.Mcdram);
+  check_int "ddr total" (96 * gib) (Phys.free_bytes_of_kind p Mk_hw.Memory_kind.Ddr4)
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let test_policy_mcdram_first_order () =
+  let cands = Policy.candidates (Policy.Mcdram_first { home = 0 }) numa in
+  (* All four MCDRAM domains come before any DDR domain; nearest
+     MCDRAM (same quadrant: 4) first. *)
+  (match cands with
+  | first :: _ -> check_int "nearest mcdram first" 4 first
+  | [] -> Alcotest.fail "no candidates");
+  let mcdram_positions =
+    List.filteri (fun _ id -> id >= 4) cands |> List.length
+  in
+  check_int "all eight domains" 8 (List.length cands);
+  check_int "mcdram count" 4 mcdram_positions;
+  let rec prefix_mcdram = function
+    | [] -> 0
+    | d :: rest -> if d >= 4 then 1 + prefix_mcdram rest else 0
+  in
+  check_int "mcdram strictly first" 4 (prefix_mcdram cands)
+
+let test_policy_ddr_only () =
+  let cands = Policy.candidates (Policy.Ddr_only { home = 0 }) numa in
+  check_int "four candidates" 4 (List.length cands);
+  check_bool "all ddr" true (List.for_all (fun d -> d < 4) cands)
+
+let test_policy_strictness () =
+  check_bool "bind strict" true (Policy.strict (Policy.Bind { domains = [ 0 ] }));
+  check_bool "preferred not strict" false
+    (Policy.strict (Policy.Preferred { domain = 0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Fault cost model *)
+
+let test_fault_costs_ordering () =
+  let c = Fault.default in
+  let demand =
+    Fault.demand_fault_bytes c ~page:Page.Small ~bytes:(2 * mib) ~concurrency:1
+  in
+  let pre = Fault.prefault c ~page:Page.Large ~bytes:(2 * mib) ~zero_bytes:(4 * kib) in
+  check_bool "prefault with 4K zeroing is much cheaper" true (pre * 10 < demand)
+
+let test_fault_contention () =
+  let c = Fault.default in
+  let solo = Fault.demand_fault c ~page:Page.Small ~concurrency:1 in
+  let crowd = Fault.demand_fault c ~page:Page.Small ~concurrency:64 in
+  check_bool "contention inflates" true (crowd > solo);
+  check_bool "inflation bounded" true (crowd < solo * 10)
+
+(* ------------------------------------------------------------------ *)
+(* Address space *)
+
+let make_as strategy =
+  let phys = Phys.create numa in
+  ( phys,
+    Address_space.create ~phys ~strategy
+      ~default_policy:(Policy.Mcdram_first { home = 0 })
+      () )
+
+let make_linux_as () =
+  let phys = Phys.create numa in
+  ( phys,
+    Address_space.create ~phys ~strategy:Address_space.linux_strategy
+      ~default_policy:(Policy.Default { home = 0 })
+      () )
+
+let test_as_linux_demand_paging () =
+  let _, asp = make_linux_as () in
+  match Address_space.mmap asp ~bytes:(16 * mib) ~backing:Vma.Anonymous () with
+  | Error `Enomem -> Alcotest.fail "linux mmap cannot fail"
+  | Ok (addr, cost) ->
+      check_bool "map cheap" true (cost < Units.us);
+      check_int "nothing backed yet" 0 (Address_space.backed_bytes asp);
+      let fault_cost = Address_space.touch asp ~addr ~bytes:(16 * mib) ~concurrency:1 in
+      check_bool "faulting costs real time" true (fault_cost > 100 * Units.us);
+      check_bool "backed after touch" true
+        (Address_space.backed_bytes asp >= 16 * mib);
+      (* Second touch is free. *)
+      check_int "second touch free" 0
+        (Address_space.touch asp ~addr ~bytes:(16 * mib) ~concurrency:1)
+
+let test_as_lwk_prefault () =
+  let _, asp = make_as Address_space.mckernel_strategy in
+  match Address_space.mmap asp ~bytes:(16 * mib) ~backing:Vma.Anonymous () with
+  | Error `Enomem -> Alcotest.fail "prefault mmap failed"
+  | Ok (addr, cost) ->
+      check_bool "population charged at map" true (cost > 0);
+      check_bool "backed immediately" true
+        (Address_space.backed_bytes asp >= 16 * mib);
+      check_int "touch free" 0 (Address_space.touch asp ~addr ~bytes:(16 * mib) ~concurrency:1)
+
+let test_as_lwk_uses_mcdram_first () =
+  let _, asp = make_as Address_space.mckernel_strategy in
+  (match Address_space.mmap asp ~bytes:(1 * gib) ~backing:Vma.Anonymous () with
+  | Error `Enomem -> Alcotest.fail "mmap failed"
+  | Ok _ -> ());
+  Alcotest.(check (float 0.01)) "all in MCDRAM" 1.0 (Address_space.mcdram_fraction asp)
+
+let test_as_lwk_spills_to_ddr () =
+  (* Ask for more than the 16 GiB of MCDRAM: silent spill to DDR4. *)
+  let _, asp = make_as Address_space.mckernel_strategy in
+  (match Address_space.mmap asp ~bytes:(24 * gib) ~backing:Vma.Anonymous () with
+  | Error `Enomem -> Alcotest.fail "spill must not fail"
+  | Ok _ -> ());
+  let f = Address_space.mcdram_fraction asp in
+  check_bool "partial mcdram" true (f > 0.5 && f < 0.75)
+
+let test_as_mos_quota () =
+  (* A per-process MCDRAM quota (mOS upfront division) forces early
+     spill even though MCDRAM is globally free. *)
+  let phys = Phys.create numa in
+  let strategy =
+    { Address_space.mos_strategy with Address_space.mcdram_quota = Some (1 * gib) }
+  in
+  let asp =
+    Address_space.create ~phys ~strategy
+      ~default_policy:(Policy.Mcdram_first { home = 0 })
+      ()
+  in
+  (match Address_space.mmap asp ~bytes:(4 * gib) ~backing:Vma.Anonymous () with
+  | Error `Enomem -> Alcotest.fail "quota spill must not fail"
+  | Ok _ -> ());
+  check_bool "quota respected" true (Address_space.mcdram_bytes asp <= 1 * gib)
+
+let test_as_mos_strict_enomem () =
+  let phys = Phys.create numa in
+  let asp =
+    Address_space.create ~phys ~strategy:Address_space.mos_strategy
+      ~default_policy:(Policy.Bind { domains = [ 4 ] })
+      ()
+  in
+  (* Domain 4 holds 4 GiB; asking for 8 GiB bound to it must fail. *)
+  match Address_space.mmap asp ~bytes:(8 * gib) ~backing:Vma.Anonymous () with
+  | Error `Enomem -> ()
+  | Ok _ -> Alcotest.fail "strict allocation must ENOMEM"
+
+let test_as_mckernel_demand_fallback () =
+  (* Fragment physical memory so no contiguous block exists; McKernel
+     falls back to demand paging instead of failing. *)
+  let phys = Phys.create_fragmented numa ~max_block:(64 * mib) in
+  let asp =
+    Address_space.create ~phys ~strategy:Address_space.mckernel_strategy
+      ~default_policy:(Policy.Mcdram_first { home = 0 })
+      ()
+  in
+  match Address_space.mmap asp ~bytes:(2 * gib) ~backing:Vma.Anonymous () with
+  | Error `Enomem -> Alcotest.fail "fallback should succeed"
+  | Ok (addr, _) ->
+      (* Chunked allocation still backs what it can; the signature is
+         that allocation succeeded and memory is usable. *)
+      let _ = Address_space.touch asp ~addr ~bytes:(2 * gib) ~concurrency:1 in
+      check_bool "fully usable" true (Address_space.backed_bytes asp >= 2 * gib)
+
+let test_as_brk_grow_shrink_linux () =
+  let _, asp = make_linux_as () in
+  (match Address_space.brk asp ~delta:(10 * mib) with
+  | Ok (brk1, _) ->
+      check_bool "grew" true (brk1 > 0);
+      let heap_cost = Address_space.touch asp ~addr:(brk1 - mib) ~bytes:mib ~concurrency:1 in
+      check_bool "heap faults cost" true (heap_cost > 0)
+  | Error `Enomem -> Alcotest.fail "linux brk grow failed");
+  (* Shrink releases memory... *)
+  (match Address_space.brk asp ~delta:(-10 * mib) with
+  | Ok _ -> ()
+  | Error `Enomem -> Alcotest.fail "shrink failed");
+  let backed_after_shrink = Address_space.heap_mapped_bytes asp in
+  check_int "heap released" 0 backed_after_shrink;
+  (* ...so regrowing and touching faults again. *)
+  (match Address_space.brk asp ~delta:(10 * mib) with
+  | Ok (brk2, _) ->
+      let refault =
+        Address_space.touch asp ~addr:(brk2 - (10 * mib)) ~bytes:(10 * mib)
+          ~concurrency:1
+      in
+      check_bool "linux refaults after shrink/grow" true (refault > 0)
+  | Error `Enomem -> Alcotest.fail "regrow failed")
+
+let test_as_brk_lwk_ignores_shrink () =
+  let _, asp = make_as Address_space.mckernel_strategy in
+  (match Address_space.brk asp ~delta:(10 * mib) with
+  | Ok _ -> ()
+  | Error `Enomem -> Alcotest.fail "grow failed");
+  let mapped = Address_space.heap_mapped_bytes asp in
+  check_bool "mapped at least 10M" true (mapped >= 10 * mib);
+  (match Address_space.brk asp ~delta:(-10 * mib) with
+  | Ok _ -> ()
+  | Error `Enomem -> Alcotest.fail "shrink failed");
+  check_int "still mapped" mapped (Address_space.heap_mapped_bytes asp);
+  (* Regrow is the cheap fast path: no new physical allocation. *)
+  match Address_space.brk asp ~delta:(10 * mib) with
+  | Ok (_, cost) -> check_bool "fast regrow" true (cost < Units.us)
+  | Error `Enomem -> Alcotest.fail "regrow failed"
+
+let test_as_brk_lwk_2m_alignment () =
+  let _, asp = make_as Address_space.mckernel_strategy in
+  (match Address_space.brk asp ~delta:100 with
+  | Ok _ -> ()
+  | Error `Enomem -> Alcotest.fail "grow failed");
+  (* Physical growth is in 2M increments even for a 100-byte request. *)
+  check_int "2M growth granularity" (2 * mib) (Address_space.heap_mapped_bytes asp)
+
+let test_as_brk_stats () =
+  let _, asp = make_as Address_space.mckernel_strategy in
+  ignore (Address_space.brk asp ~delta:0);
+  ignore (Address_space.brk asp ~delta:0);
+  ignore (Address_space.brk asp ~delta:(5 * mib));
+  ignore (Address_space.brk asp ~delta:(-1 * mib));
+  let stats = Address_space.stats asp in
+  check_int "queries" 2 stats.Address_space.brk_queries;
+  check_int "grows" 1 stats.Address_space.brk_grows;
+  check_int "shrinks" 1 stats.Address_space.brk_shrinks;
+  check_int "cumulative growth" (5 * mib) stats.Address_space.cumulative_heap_growth;
+  check_int "peak" (5 * mib) stats.Address_space.heap_peak
+
+let test_as_large_pages_lower_tlb_factor () =
+  let _, lwk = make_as Address_space.mckernel_strategy in
+  let _, lin = make_linux_as () in
+  (match Address_space.mmap lwk ~bytes:(1 * gib) ~backing:Vma.Anonymous () with
+  | Ok _ -> ()
+  | Error `Enomem -> Alcotest.fail "lwk mmap");
+  (match Address_space.mmap lin ~bytes:(1 * gib) ~backing:Vma.Anonymous () with
+  | Ok (addr, _) -> ignore (Address_space.touch lin ~addr ~bytes:(1 * gib) ~concurrency:1)
+  | Error `Enomem -> Alcotest.fail "linux mmap");
+  check_bool "lwk tlb factor at or below linux" true
+    (Address_space.tlb_factor lwk <= Address_space.tlb_factor lin)
+
+let test_as_munmap_returns_memory () =
+  let phys, asp = make_as Address_space.mckernel_strategy in
+  let free_before = Phys.free_bytes_of_kind phys Mk_hw.Memory_kind.Mcdram in
+  (match Address_space.mmap asp ~bytes:(1 * gib) ~backing:Vma.Anonymous () with
+  | Ok (addr, _) ->
+      check_bool "memory taken" true
+        (Phys.free_bytes_of_kind phys Mk_hw.Memory_kind.Mcdram < free_before);
+      ignore (Address_space.munmap asp ~addr);
+      check_int "memory returned" free_before
+        (Phys.free_bytes_of_kind phys Mk_hw.Memory_kind.Mcdram)
+  | Error `Enomem -> Alcotest.fail "mmap failed")
+
+
+(* ------------------------------------------------------------------ *)
+(* Page tables *)
+
+let test_pgtbl_walk_levels () =
+  check_int "4K walks 4 levels" 4 (Page_table.walk_levels Page.Small);
+  check_int "2M walks 3" 3 (Page_table.walk_levels Page.Large);
+  check_int "1G walks 2" 2 (Page_table.walk_levels Page.Huge)
+
+let test_pgtbl_leaf_counts () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vaddr:0 ~bytes:(8 * mib) ~page:Page.Small;
+  check_int "2048 4K leaves" 2048 (Page_table.leaf_entries pt);
+  Page_table.map pt ~vaddr:(1 * gib) ~bytes:(8 * mib) ~page:Page.Large;
+  check_int "plus 4 2M leaves" 2052 (Page_table.leaf_entries pt)
+
+let test_pgtbl_footprint_by_page_size () =
+  (* Mapping 1 GiB: 4K pages need 512 page tables + 1 PD + 1 PDPT;
+     2M pages need 1 PD + 1 PDPT; a 1G page needs just the PDPT. *)
+  let footprint page =
+    let pt = Page_table.create () in
+    Page_table.map pt ~vaddr:0 ~bytes:gib ~page;
+    Page_table.table_pages pt
+  in
+  check_int "4K structures" 514 (footprint Page.Small);
+  check_int "2M structures" 2 (footprint Page.Large);
+  check_int "1G structures" 1 (footprint Page.Huge)
+
+let test_pgtbl_map_unmap_roundtrip () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vaddr:0 ~bytes:(16 * mib) ~page:Page.Small;
+  Page_table.unmap pt ~vaddr:0 ~bytes:(16 * mib) ~page:Page.Small;
+  check_int "no leaves" 0 (Page_table.leaf_entries pt);
+  check_int "no tables" 0 (Page_table.table_pages pt)
+
+let test_pgtbl_shared_intermediates () =
+  (* Two small mappings inside the same 2M region share one PT. *)
+  let pt = Page_table.create () in
+  Page_table.map pt ~vaddr:0 ~bytes:(4 * kib) ~page:Page.Small;
+  Page_table.map pt ~vaddr:(64 * kib) ~bytes:(4 * kib) ~page:Page.Small;
+  check_int "one PT + PD + PDPT" 3 (Page_table.table_pages pt)
+
+let test_pgtbl_address_space_integration () =
+  (* An LWK space mapping 1 GiB needs one huge-page translation;
+     Linux covers the same gigabyte with hundreds of THP entries (and
+     its 4K heap with hundreds of thousands). *)
+  let leaves strategy policy =
+    let phys = Phys.create numa in
+    let asp = Address_space.create ~phys ~strategy ~default_policy:policy () in
+    (match Address_space.mmap asp ~bytes:gib ~backing:Vma.Anonymous () with
+    | Ok (addr, _) -> ignore (Address_space.touch asp ~addr ~bytes:gib ~concurrency:1)
+    | Error `Enomem -> Alcotest.fail "mmap");
+    Page_table.leaf_entries (Address_space.page_table asp)
+  in
+  let lwk = leaves Address_space.mckernel_strategy (Policy.Mcdram_first { home = 0 }) in
+  let lin = leaves Address_space.linux_strategy (Policy.Default { home = 0 }) in
+  check_int "one 1G translation" 1 lwk;
+  check_bool "linux needs hundreds" true (lin >= 512)
+
+let pgtbl_conservation =
+  QCheck.Test.make ~name:"page table map/unmap conserves" ~count:100
+    QCheck.(pair (int_range 1 64) (int_range 0 2))
+    (fun (chunks, psel) ->
+      let page = match psel with 0 -> Page.Small | 1 -> Page.Large | _ -> Page.Huge in
+      let pt = Page_table.create () in
+      let size = Page.bytes page in
+      for i = 0 to chunks - 1 do
+        Page_table.map pt ~vaddr:(i * size) ~bytes:size ~page
+      done;
+      for i = 0 to chunks - 1 do
+        Page_table.unmap pt ~vaddr:(i * size) ~bytes:size ~page
+      done;
+      Page_table.leaf_entries pt = 0 && Page_table.table_pages pt = 0)
+
+
+(* Model-based property: random op sequences against a reference
+   model, under each kernel strategy.  Invariants: physical memory is
+   conserved, the break tracks brk deltas exactly, backed bytes never
+   exceed physical usage, and MCDRAM never exceeds its quota. *)
+let address_space_model_based =
+  QCheck.Test.make ~name:"address space vs reference model" ~count:60
+    QCheck.(pair (int_range 0 2) (list (int_range 0 5)))
+    (fun (strat_i, ops) ->
+      let strategy, policy =
+        match strat_i with
+        | 0 -> (Address_space.linux_strategy, Policy.Default { home = 0 })
+        | 1 -> (Address_space.mckernel_strategy, Policy.Mcdram_first { home = 0 })
+        | _ ->
+            ( { Address_space.mos_strategy with
+                Address_space.mcdram_quota = Some (256 * mib) },
+              Policy.Mcdram_first { home = 0 } )
+      in
+      let phys = Phys.create numa in
+      let total_phys =
+        Phys.free_bytes_of_kind phys Mk_hw.Memory_kind.Mcdram
+        + Phys.free_bytes_of_kind phys Mk_hw.Memory_kind.Ddr4
+      in
+      let asp = Address_space.create ~phys ~strategy ~default_policy:policy () in
+      let model_brk = ref (Address_space.sbrk_query asp) in
+      let mapped = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 | 1 -> (
+              (* mmap of a pseudo-random size *)
+              let bytes = (1 + ((i * 7) mod 64)) * mib in
+              match Address_space.mmap asp ~bytes ~backing:Vma.Anonymous () with
+              | Ok (addr, _) -> mapped := (addr, bytes) :: !mapped
+              | Error `Enomem -> ())
+          | 2 -> (
+              (* munmap the newest mapping *)
+              match !mapped with
+              | (addr, _) :: rest ->
+                  ignore (Address_space.munmap asp ~addr);
+                  mapped := rest
+              | [] -> ())
+          | 3 -> (
+              let delta = (1 + ((i * 3) mod 8)) * mib in
+              match Address_space.brk asp ~delta with
+              | Ok (b, _) ->
+                  model_brk := !model_brk + delta;
+                  ok := !ok && b = !model_brk
+              | Error `Enomem -> ())
+          | 4 -> (
+              let delta = -((1 + (i mod 4)) * mib) in
+              let expected =
+                max (!model_brk + delta)
+                  (Address_space.sbrk_query asp - (Address_space.sbrk_query asp - 16 * mib))
+              in
+              ignore expected;
+              match Address_space.brk asp ~delta with
+              | Ok (b, _) ->
+                  (* clamped at the heap base *)
+                  model_brk := max (16 * mib) (!model_brk + delta);
+                  ok := !ok && b = !model_brk
+              | Error `Enomem -> ())
+          | _ ->
+              ignore (Address_space.touch_heap asp ~concurrency:1);
+              List.iter
+                (fun (addr, bytes) ->
+                  ignore (Address_space.touch asp ~addr ~bytes ~concurrency:1))
+                !mapped)
+        ops;
+      (* Conservation: free + backed-by-this-space <= total (the heap
+         keeps whole increments, so allow the rounding slack). *)
+      let free =
+        Phys.free_bytes_of_kind phys Mk_hw.Memory_kind.Mcdram
+        + Phys.free_bytes_of_kind phys Mk_hw.Memory_kind.Ddr4
+      in
+      let used = total_phys - free in
+      let backed = Address_space.backed_bytes asp in
+      !ok
+      && backed <= used
+      && used <= backed + (2 * gib)
+      && (match strategy.Address_space.mcdram_quota with
+         | Some q -> Address_space.mcdram_bytes asp <= q
+         | None -> true))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_mem"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "bytes" `Quick test_page_bytes;
+          Alcotest.test_case "alignment" `Quick test_page_align;
+          Alcotest.test_case "count" `Quick test_page_count;
+          Alcotest.test_case "best fit" `Quick test_page_best_fit;
+          Alcotest.test_case "tlb ordering" `Quick test_tlb_overhead_ordering;
+        ] );
+      ( "buddy",
+        Alcotest.test_case "alloc/free roundtrip" `Quick
+          test_buddy_alloc_free_roundtrip
+        :: Alcotest.test_case "alignment" `Quick test_buddy_alignment
+        :: Alcotest.test_case "coalescing" `Quick test_buddy_coalescing
+        :: Alcotest.test_case "fragmentation" `Quick test_buddy_fragmentation_metric
+        :: Alcotest.test_case "oversize" `Quick test_buddy_oversize_rejected
+        :: Alcotest.test_case "double free" `Quick test_buddy_double_free_rejected
+        :: Alcotest.test_case "non-pow2 region" `Quick test_buddy_non_pow2_region
+        :: qsuite [ buddy_conservation_qcheck ] );
+      ( "phys",
+        [
+          Alcotest.test_case "capacity" `Quick test_phys_capacity;
+          Alcotest.test_case "alloc/free" `Quick test_phys_alloc_free;
+          Alcotest.test_case "fragmented" `Quick test_phys_fragmented_caps_largest;
+          Alcotest.test_case "reserve" `Quick test_phys_reserve;
+          Alcotest.test_case "kind totals" `Quick test_phys_kind_totals;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "mcdram first order" `Quick
+            test_policy_mcdram_first_order;
+          Alcotest.test_case "ddr only" `Quick test_policy_ddr_only;
+          Alcotest.test_case "strictness" `Quick test_policy_strictness;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "cost ordering" `Quick test_fault_costs_ordering;
+          Alcotest.test_case "contention" `Quick test_fault_contention;
+        ] );
+      ( "page_table",
+        Alcotest.test_case "walk levels" `Quick test_pgtbl_walk_levels
+        :: Alcotest.test_case "leaf counts" `Quick test_pgtbl_leaf_counts
+        :: Alcotest.test_case "footprint by page size" `Quick
+             test_pgtbl_footprint_by_page_size
+        :: Alcotest.test_case "map/unmap roundtrip" `Quick
+             test_pgtbl_map_unmap_roundtrip
+        :: Alcotest.test_case "shared intermediates" `Quick
+             test_pgtbl_shared_intermediates
+        :: Alcotest.test_case "address space integration" `Quick
+             test_pgtbl_address_space_integration
+        :: qsuite [ pgtbl_conservation ] );
+      ( "address_space",
+        [
+          Alcotest.test_case "linux demand paging" `Quick test_as_linux_demand_paging;
+          Alcotest.test_case "lwk prefault" `Quick test_as_lwk_prefault;
+          Alcotest.test_case "mcdram first" `Quick test_as_lwk_uses_mcdram_first;
+          Alcotest.test_case "mcdram spill" `Quick test_as_lwk_spills_to_ddr;
+          Alcotest.test_case "mos quota" `Quick test_as_mos_quota;
+          Alcotest.test_case "mos strict enomem" `Quick test_as_mos_strict_enomem;
+          Alcotest.test_case "mckernel demand fallback" `Quick
+            test_as_mckernel_demand_fallback;
+          Alcotest.test_case "linux brk shrink/regrow" `Quick
+            test_as_brk_grow_shrink_linux;
+          Alcotest.test_case "lwk ignores shrink" `Quick test_as_brk_lwk_ignores_shrink;
+          Alcotest.test_case "lwk 2M heap granularity" `Quick
+            test_as_brk_lwk_2m_alignment;
+          Alcotest.test_case "brk stats" `Quick test_as_brk_stats;
+          Alcotest.test_case "tlb factor" `Quick test_as_large_pages_lower_tlb_factor;
+          Alcotest.test_case "munmap returns memory" `Quick
+            test_as_munmap_returns_memory;
+        ]
+        @ qsuite [ address_space_model_based ] );
+    ]

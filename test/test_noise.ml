@@ -1,0 +1,168 @@
+(* Tests for the OS-noise model: sources, profiles and the
+   interval-delay / max-order-statistic samplers. *)
+
+open Mk_engine
+open Mk_noise
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_source_overhead () =
+  let s = Source.make ~name:"x" ~period:(10 * Units.ms) ~duration:(10 * Units.us) () in
+  Alcotest.(check (float 1e-9)) "overhead" 0.001 (Source.overhead s)
+
+let test_source_validation () =
+  check_bool "bad period rejected" true
+    (try
+       ignore (Source.make ~name:"x" ~period:0 ~duration:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_profile_ordering () =
+  (* Noise strictly increases from LWK to Linux to service cores. *)
+  let o p = Profile.total_overhead p in
+  check_bool "silent is zero" true (o Profile.silent = 0.0);
+  check_bool "mos above silent" true (o Profile.mos_lwk > 0.0);
+  check_bool "nohz above mos" true (o Profile.linux_nohz_full > o Profile.mos_lwk);
+  check_bool "default above nohz" true
+    (o Profile.linux_default > o Profile.linux_nohz_full);
+  check_bool "service core worst" true
+    (o Profile.linux_service_core > o Profile.linux_default)
+
+let test_silent_delay_zero () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 100 do
+    check_int "no delay" 0 (Injector.delay Profile.silent rng ~dur:Units.sec)
+  done
+
+let test_delay_mean_tracks_overhead () =
+  let rng = Rng.create 2 in
+  let n = 3_000 in
+  let dur = 50 * Units.ms in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Injector.delay Profile.linux_default rng ~dur
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  let expected = float_of_int (Injector.mean_delay Profile.linux_default ~dur) in
+  check_bool "mean within 25% of expectation" true
+    (abs_float (mean -. expected) < 0.25 *. expected)
+
+let test_inflate_at_least_dur () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let dur = 1 * Units.ms in
+    check_bool "inflate >= dur" true
+      (Injector.inflate Profile.linux_default rng ~dur >= dur)
+  done
+
+let test_max_delay_monotone_in_ranks () =
+  (* The slowest of many threads suffers at least as much as one
+     thread, on average. *)
+  let mean ranks =
+    let rng = Rng.create 4 in
+    let total = ref 0 in
+    for _ = 1 to 1_000 do
+      total :=
+        !total
+        + Injector.max_delay Profile.linux_nohz_full rng ~dur:(10 * Units.ms) ~ranks
+    done;
+    float_of_int !total /. 1_000.0
+  in
+  let m1 = mean 1 and m64 = mean 64 and m256 = mean 256 in
+  check_bool "64 > 1" true (m64 > m1);
+  check_bool "256 >= 64" true (m256 >= m64 *. 0.9)
+
+let test_max_delay_ranks_one_matches_delay () =
+  (* ranks = 1 uses the plain sampler. *)
+  let a = Rng.create 5 and b = Rng.create 5 in
+  for _ = 1 to 50 do
+    check_int "identical"
+      (Injector.delay Profile.linux_default a ~dur:Units.ms)
+      (Injector.max_delay Profile.linux_default b ~dur:Units.ms ~ranks:1)
+  done
+
+let test_max_delay_rejects_bad_ranks () =
+  let rng = Rng.create 6 in
+  check_bool "zero ranks rejected" true
+    (try
+       ignore (Injector.max_delay Profile.silent rng ~dur:1 ~ranks:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_determinism () =
+  let run () =
+    let rng = Rng.create 7 in
+    List.init 100 (fun _ ->
+        Injector.max_delay Profile.linux_default rng ~dur:Units.ms ~ranks:16)
+  in
+  Alcotest.(check (list int)) "same seed same stream" (run ()) (run ())
+
+
+(* ------------------------------------------------------------------ *)
+(* FTQ *)
+
+let test_ftq_silent_perfect () =
+  let s = Ftq.run ~profile:Profile.silent ~quantum:Units.ms ~quanta:100 ~seed:1 in
+  Alcotest.(check (float 1e-12)) "all work done" 1.0 s.Ftq.mean_work;
+  check_int "nothing perturbed" 0 s.Ftq.perturbed_quanta;
+  Alcotest.(check (float 1e-12)) "no noise" 0.0 s.Ftq.noise_fraction
+
+let test_ftq_ordering () =
+  (* FTQ reproduces the isolation ordering of Section II-D2. *)
+  let noise p =
+    (Ftq.run ~profile:p ~quantum:Units.ms ~quanta:3000 ~seed:2).Ftq.noise_fraction
+  in
+  let mos = noise Profile.mos_lwk in
+  let nohz = noise Profile.linux_nohz_full in
+  let default = noise Profile.linux_default in
+  check_bool "mos below nohz" true (mos < nohz);
+  check_bool "nohz below default" true (nohz < default)
+
+let test_ftq_bounds () =
+  let s =
+    Ftq.run ~profile:Profile.linux_default ~quantum:Units.ms ~quanta:500 ~seed:3
+  in
+  check_int "sample count" 500 (List.length s.Ftq.samples);
+  check_bool "work in [0,1]" true
+    (List.for_all (fun x -> x.Ftq.work_done >= 0.0 && x.Ftq.work_done <= 1.0)
+       s.Ftq.samples);
+  check_bool "worst detour bounded by quantum" true (s.Ftq.worst_detour <= Units.ms)
+
+let delay_nonnegative =
+  QCheck.Test.make ~name:"delay is non-negative" ~count:300
+    QCheck.(int_range 1 100_000_000)
+    (fun dur ->
+      let rng = Rng.create dur in
+      Injector.delay Profile.linux_default rng ~dur >= 0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_noise"
+    [
+      ( "ftq",
+        [
+          Alcotest.test_case "silent perfect" `Quick test_ftq_silent_perfect;
+          Alcotest.test_case "isolation ordering" `Quick test_ftq_ordering;
+          Alcotest.test_case "bounds" `Quick test_ftq_bounds;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "overhead" `Quick test_source_overhead;
+          Alcotest.test_case "validation" `Quick test_source_validation;
+        ] );
+      ("profile", [ Alcotest.test_case "ordering" `Quick test_profile_ordering ]);
+      ( "injector",
+        Alcotest.test_case "silent zero" `Quick test_silent_delay_zero
+        :: Alcotest.test_case "mean tracks overhead" `Slow
+             test_delay_mean_tracks_overhead
+        :: Alcotest.test_case "inflate lower bound" `Quick test_inflate_at_least_dur
+        :: Alcotest.test_case "max monotone in ranks" `Slow
+             test_max_delay_monotone_in_ranks
+        :: Alcotest.test_case "ranks=1 equals delay" `Quick
+             test_max_delay_ranks_one_matches_delay
+        :: Alcotest.test_case "bad ranks" `Quick test_max_delay_rejects_bad_ranks
+        :: Alcotest.test_case "determinism" `Quick test_determinism
+        :: qsuite [ delay_nonnegative ] );
+    ]

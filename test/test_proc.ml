@@ -1,0 +1,152 @@
+(* Tests for the process substrate: ids, fd tables, tasks, processes
+   and proxies. *)
+
+open Mk_proc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_ids_monotonic () =
+  let ids = Ids.create ~first:10 () in
+  check_int "first" 10 (Ids.next ids);
+  check_int "second" 11 (Ids.next ids);
+  check_int "peek" 12 (Ids.peek ids);
+  check_int "peek does not consume" 12 (Ids.next ids)
+
+let test_fd_std_streams () =
+  let t = Fd_table.create () in
+  check_int "three open" 3 (Fd_table.open_count t);
+  check_bool "stdout" true (Fd_table.lookup t 1 <> None)
+
+let test_fd_lowest_free () =
+  let t = Fd_table.create () in
+  check_int "first file is 3" 3 (Fd_table.open_file t ~path:"/a");
+  check_int "then 4" 4 (Fd_table.open_file t ~path:"/b");
+  (match Fd_table.close t 3 with Ok () -> () | Error `Ebadf -> Alcotest.fail "close");
+  check_int "reuses 3" 3 (Fd_table.open_file t ~path:"/c")
+
+let test_fd_close_semantics () =
+  let t = Fd_table.create () in
+  let fd = Fd_table.open_file t ~path:"/x" in
+  check_bool "close ok" true (Fd_table.close t fd = Ok ());
+  check_bool "double close ebadf" true (Fd_table.close t fd = Error `Ebadf);
+  check_bool "lookup closed" true (Fd_table.lookup t fd = None)
+
+let test_fd_positions () =
+  let t = Fd_table.create () in
+  let fd = Fd_table.open_file t ~path:"/x" in
+  (match Fd_table.advance t fd ~bytes:100 with Ok () -> () | Error `Ebadf -> Alcotest.fail "advance");
+  (match Fd_table.lookup t fd with
+  | Some d -> check_int "pos" 100 d.Fd_table.position
+  | None -> Alcotest.fail "lookup");
+  (match Fd_table.seek t fd ~pos:7 with Ok () -> () | Error `Ebadf -> Alcotest.fail "seek");
+  match Fd_table.lookup t fd with
+  | Some d -> check_int "seeked" 7 d.Fd_table.position
+  | None -> Alcotest.fail "lookup"
+
+let mk_task () = Task.make ~tid:1 ~pid:1 ~name:"t" ~affinity:[ 0; 1 ]
+
+let test_task_lifecycle () =
+  let t = mk_task () in
+  check_bool "starts runnable" true (Task.is_runnable t);
+  Task.run_on t 1;
+  check_bool "running" true (t.Task.state = Task.Running 1);
+  Task.block t "futex";
+  check_bool "blocked" false (Task.is_runnable t);
+  Task.wake t;
+  check_bool "woken" true (Task.is_runnable t);
+  Task.exit t ~code:0;
+  Task.wake t;
+  check_bool "exit is final" true (t.Task.state = Task.Exited 0)
+
+let test_task_accounting () =
+  let t = mk_task () in
+  Task.charge_user t 100;
+  Task.charge_user t 50;
+  Task.charge_kernel t 30;
+  Task.charge_noise t 7;
+  check_int "user" 150 t.Task.acct.Task.user_time;
+  check_int "kernel" 30 t.Task.acct.Task.kernel_time;
+  check_int "noise" 7 t.Task.acct.Task.noise_time
+
+let test_process_proxy () =
+  let phys = Mk_mem.Phys.create (Mk_hw.Topology.numa (Mk_hw.Knl.topology Mk_hw.Knl.Snc4_flat)) in
+  let asp =
+    Mk_mem.Address_space.create ~phys ~strategy:Mk_mem.Address_space.mckernel_strategy
+      ~default_policy:(Mk_mem.Policy.Default { home = 0 })
+      ()
+  in
+  let p = Process.make ~pid:100 ~name:"app" ~address_space:asp in
+  check_bool "own fds before proxy" false (Process.has_proxy p);
+  let own = Process.fds p in
+  let proxy = Process.attach_proxy p ~proxy_pid:101 in
+  check_int "proxy pid" 101 proxy.Process.proxy_pid;
+  check_bool "proxy attached" true (Process.has_proxy p);
+  (* The descriptor table switches to the Linux-side proxy's. *)
+  check_bool "fds now proxy's" true (Process.fds p == proxy.Process.fds);
+  check_bool "distinct from own" true (not (Process.fds p == own))
+
+let test_process_live_tasks () =
+  let phys = Mk_mem.Phys.create (Mk_hw.Topology.numa (Mk_hw.Knl.topology Mk_hw.Knl.Snc4_flat)) in
+  let asp =
+    Mk_mem.Address_space.create ~phys ~strategy:Mk_mem.Address_space.linux_strategy
+      ~default_policy:(Mk_mem.Policy.Default { home = 0 })
+      ()
+  in
+  let p = Process.make ~pid:1 ~name:"x" ~address_space:asp in
+  let t1 = Task.make ~tid:1 ~pid:1 ~name:"a" ~affinity:[ 0 ] in
+  let t2 = Task.make ~tid:2 ~pid:1 ~name:"b" ~affinity:[ 1 ] in
+  Process.add_task p t1;
+  Process.add_task p t2;
+  check_int "two live" 2 (List.length (Process.live_tasks p));
+  Task.exit t1 ~code:0;
+  check_int "one live" 1 (List.length (Process.live_tasks p))
+
+let fd_alloc_lowest =
+  QCheck.Test.make ~name:"fd allocation always returns the lowest free" ~count:100
+    QCheck.(list bool)
+    (fun ops ->
+      let t = Fd_table.create () in
+      let opened = ref [] in
+      List.for_all
+        (fun do_open ->
+          if do_open || !opened = [] then begin
+            let fd = Fd_table.open_file t ~path:"/f" in
+            (* The new descriptor must be lower than any free slot:
+               i.e. no open fd below it was skipped. *)
+            let ok = not (List.mem fd !opened) in
+            opened := fd :: !opened;
+            ok
+          end
+          else begin
+            match !opened with
+            | fd :: rest ->
+                opened := rest;
+                Fd_table.close t fd = Ok ()
+            | [] -> true
+          end)
+        ops)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_proc"
+    [
+      ("ids", [ Alcotest.test_case "monotonic" `Quick test_ids_monotonic ]);
+      ( "fd_table",
+        Alcotest.test_case "std streams" `Quick test_fd_std_streams
+        :: Alcotest.test_case "lowest free" `Quick test_fd_lowest_free
+        :: Alcotest.test_case "close semantics" `Quick test_fd_close_semantics
+        :: Alcotest.test_case "positions" `Quick test_fd_positions
+        :: qsuite [ fd_alloc_lowest ] );
+      ( "task",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_task_lifecycle;
+          Alcotest.test_case "accounting" `Quick test_task_accounting;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "proxy" `Quick test_process_proxy;
+          Alcotest.test_case "live tasks" `Quick test_process_live_tasks;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Tests for the schedulers and the NUMA-aware binding planner. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_task tid = Mk_proc.Task.make ~tid ~pid:tid ~name:(string_of_int tid) ~affinity:[ 0 ]
+
+(* ------------------------------------------------------------------ *)
+(* CFS *)
+
+let test_cfs_fifo_when_fresh () =
+  let s = Mk_sched.Cfs.create () in
+  Mk_sched.Cfs.enqueue s (mk_task 1);
+  Mk_sched.Cfs.enqueue s (mk_task 2);
+  check_int "queued" 2 (Mk_sched.Cfs.queued s);
+  match (Mk_sched.Cfs.pick s, Mk_sched.Cfs.pick s) with
+  | Some a, Some b ->
+      check_int "first in first out on equal vruntime" 1 a.Mk_proc.Task.tid;
+      check_int "second" 2 b.Mk_proc.Task.tid
+  | _ -> Alcotest.fail "picks failed"
+
+let test_cfs_fairness () =
+  (* A task that ran longer yields the CPU to one that ran less. *)
+  let s = Mk_sched.Cfs.create () in
+  let hog = mk_task 1 and light = mk_task 2 in
+  Mk_sched.Cfs.enqueue s hog;
+  (match Mk_sched.Cfs.pick s with
+  | Some t -> Mk_sched.Cfs.requeue s t ~ran:1_000_000
+  | None -> Alcotest.fail "pick");
+  Mk_sched.Cfs.enqueue s light;
+  (* light joins at min_vruntime which is below hog's accumulated. *)
+  match Mk_sched.Cfs.pick s with
+  | Some t -> check_int "light preferred" 2 t.Mk_proc.Task.tid
+  | None -> Alcotest.fail "pick"
+
+let test_cfs_timeslice_shrinks () =
+  let s = Mk_sched.Cfs.create () in
+  let one = Option.get (Mk_sched.Cfs.timeslice s ~runnable:1) in
+  let many = Option.get (Mk_sched.Cfs.timeslice s ~runnable:16) in
+  check_bool "slice shrinks with load" true (many <= one);
+  check_bool "floored at min granularity" true (many >= 6 * Mk_engine.Units.ms)
+
+let test_cfs_vruntime_accumulates () =
+  let s = Mk_sched.Cfs.create () in
+  let t = mk_task 1 in
+  Mk_sched.Cfs.enqueue s t;
+  ignore (Mk_sched.Cfs.pick s);
+  Mk_sched.Cfs.requeue s t ~ran:500;
+  check_int "accumulated" 500 (Mk_sched.Cfs.vruntime s t)
+
+(* ------------------------------------------------------------------ *)
+(* LWK round-robin *)
+
+let test_lwk_fifo () =
+  let s = Mk_sched.Lwk_rr.create () in
+  List.iter (fun i -> Mk_sched.Lwk_rr.enqueue s (mk_task i)) [ 1; 2; 3 ];
+  let order =
+    List.init 3 (fun _ -> (Option.get (Mk_sched.Lwk_rr.pick s)).Mk_proc.Task.tid)
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] order
+
+let test_lwk_cooperative () =
+  let s = Mk_sched.Lwk_rr.create () in
+  check_bool "no timeslice" true (Mk_sched.Lwk_rr.timeslice s ~runnable:8 = None)
+
+let test_lwk_time_sharing () =
+  let s = Mk_sched.Lwk_rr.create_time_sharing ~quantum:(10 * Mk_engine.Units.ms) in
+  check_bool "quantum present" true
+    (Mk_sched.Lwk_rr.timeslice s ~runnable:2 = Some (10 * Mk_engine.Units.ms))
+
+let test_switch_costs_ordering () =
+  check_bool "lwk switch cheaper than cfs" true
+    (Mk_sched.Lwk_rr.context_switch_cost < Mk_sched.Cfs.context_switch_cost)
+
+(* ------------------------------------------------------------------ *)
+(* Binding *)
+
+let topo = Mk_hw.Knl.topology Mk_hw.Knl.Snc4_flat
+
+let test_partition_cores () =
+  let os, app = Mk_sched.Binding.partition_cores ~topo ~os_cores:4 in
+  Alcotest.(check (list int)) "os cores are the first four" [ 0; 1; 2; 3 ] os;
+  check_int "app cores" 64 (List.length app);
+  check_bool "app excludes os" true (List.for_all (fun c -> not (List.mem c os)) app)
+
+let test_block_64_ranks () =
+  let plan = Mk_sched.Binding.block ~topo ~os_cores:4 ~ranks:64 ~threads_per_rank:1 in
+  check_int "64 rank bindings" 64 (Array.length plan.Mk_sched.Binding.rank_cpus);
+  (* Each rank gets exactly one cpu and no two ranks share one. *)
+  let all = Array.to_list plan.Mk_sched.Binding.rank_cpus |> List.concat in
+  check_int "one cpu per rank" 64 (List.length all);
+  check_int "all distinct" 64 (List.length (List.sort_uniq compare all))
+
+let test_block_hyperthreads () =
+  (* 64 ranks x 2 threads on 64 cores: threads fall back to the
+     sibling hardware thread of the rank's core. *)
+  let plan = Mk_sched.Binding.block ~topo ~os_cores:4 ~ranks:64 ~threads_per_rank:2 in
+  Array.iter
+    (fun cpus ->
+      check_int "two cpus" 2 (List.length cpus);
+      match cpus with
+      | [ a; b ] ->
+          check_int "same physical core"
+            (Mk_hw.Topology.core_of_cpu topo a)
+            (Mk_hw.Topology.core_of_cpu topo b)
+      | _ -> Alcotest.fail "expected two cpus")
+    plan.Mk_sched.Binding.rank_cpus
+
+let test_block_overflow_rejected () =
+  check_bool "too many threads" true
+    (try
+       ignore (Mk_sched.Binding.block ~topo ~os_cores:4 ~ranks:64 ~threads_per_rank:8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_home_domains_spread () =
+  let plan = Mk_sched.Binding.block ~topo ~os_cores:4 ~ranks:64 ~threads_per_rank:1 in
+  let per = Mk_sched.Binding.ranks_per_domain ~topo plan in
+  (* Quadrant 0 lost 4 cores to the OS: 13/17/17/17. *)
+  Alcotest.(check (list (pair int int)))
+    "ranks per domain"
+    [ (0, 13); (1, 17); (2, 17); (3, 17) ]
+    per
+
+let test_home_domain_of_rank () =
+  let plan = Mk_sched.Binding.block ~topo ~os_cores:4 ~ranks:64 ~threads_per_rank:1 in
+  check_int "rank 0 in quadrant 0" 0 (Mk_sched.Binding.home_domain ~topo plan ~rank:0);
+  check_int "rank 63 in quadrant 3" 3 (Mk_sched.Binding.home_domain ~topo plan ~rank:63)
+
+let binding_respects_capacity =
+  QCheck.Test.make ~name:"binding never exceeds node capacity" ~count:100
+    QCheck.(pair (int_range 1 64) (int_range 1 4))
+    (fun (ranks, threads) ->
+      match Mk_sched.Binding.block ~topo ~os_cores:4 ~ranks ~threads_per_rank:threads with
+      | plan ->
+          let all = Array.to_list plan.Mk_sched.Binding.rank_cpus |> List.concat in
+          List.length all = List.length (List.sort_uniq compare all)
+      | exception Invalid_argument _ -> ranks * threads > 64 * 4)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_sched"
+    [
+      ( "cfs",
+        [
+          Alcotest.test_case "fifo when fresh" `Quick test_cfs_fifo_when_fresh;
+          Alcotest.test_case "fairness" `Quick test_cfs_fairness;
+          Alcotest.test_case "timeslice shrinks" `Quick test_cfs_timeslice_shrinks;
+          Alcotest.test_case "vruntime accumulates" `Quick
+            test_cfs_vruntime_accumulates;
+        ] );
+      ( "lwk_rr",
+        [
+          Alcotest.test_case "fifo" `Quick test_lwk_fifo;
+          Alcotest.test_case "cooperative" `Quick test_lwk_cooperative;
+          Alcotest.test_case "time sharing" `Quick test_lwk_time_sharing;
+          Alcotest.test_case "switch costs" `Quick test_switch_costs_ordering;
+        ] );
+      ( "binding",
+        Alcotest.test_case "partition" `Quick test_partition_cores
+        :: Alcotest.test_case "block 64" `Quick test_block_64_ranks
+        :: Alcotest.test_case "hyperthreads" `Quick test_block_hyperthreads
+        :: Alcotest.test_case "overflow" `Quick test_block_overflow_rejected
+        :: Alcotest.test_case "domain spread" `Quick test_home_domains_spread
+        :: Alcotest.test_case "home domain" `Quick test_home_domain_of_rank
+        :: qsuite [ binding_respects_capacity ] );
+    ]

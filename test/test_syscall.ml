@@ -1,0 +1,150 @@
+(* Tests for the syscall layer: enumeration, classes, costs and the
+   per-kernel disposition tables. *)
+
+open Mk_syscall
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_all_count () = check_int "count matches list" (List.length Sysno.all) Sysno.count
+
+let test_all_unique () =
+  let sorted = List.sort_uniq compare Sysno.all in
+  check_int "no duplicates" (List.length Sysno.all) (List.length sorted)
+
+let test_names_unique () =
+  let names = List.map Sysno.to_string Sysno.all in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_class_partition () =
+  let classes =
+    [ Sysno.Memory; Sysno.Process; Sysno.Scheduling; Sysno.Synchronisation;
+      Sysno.Signals; Sysno.Files; Sysno.Networking; Sysno.Ipc; Sysno.Info ]
+  in
+  let total = List.fold_left (fun acc c -> acc + List.length (Sysno.of_class c)) 0 classes in
+  check_int "classes partition the set" Sysno.count total
+
+let test_class_examples () =
+  check_bool "brk is memory" true (Sysno.cls Sysno.Brk = Sysno.Memory);
+  check_bool "ioctl is files" true (Sysno.cls Sysno.Ioctl = Sysno.Files);
+  check_bool "futex is sync" true (Sysno.cls Sysno.Futex = Sysno.Synchronisation);
+  check_bool "sendmsg is net" true (Sysno.cls Sysno.Sendmsg = Sysno.Networking)
+
+let test_costs_positive () =
+  List.iter
+    (fun s -> check_bool (Sysno.to_string s) true (Cost.local s > 0))
+    Sysno.all
+
+let test_cost_ordering () =
+  check_bool "getpid cheap" true (Cost.local Sysno.Getpid < Cost.local Sysno.Open);
+  check_bool "fork expensive" true (Cost.local Sysno.Fork > Cost.local Sysno.Read);
+  check_bool "execve most expensive process op" true
+    (Cost.local Sysno.Execve > Cost.local Sysno.Fork)
+
+let test_linux_all_local () =
+  List.iter
+    (fun s ->
+      check_bool (Sysno.to_string s) true (Disposition.linux s = Disposition.Local))
+    Sysno.all
+
+let count_disposition table pred =
+  List.length (List.filter (fun s -> pred (table s)) Sysno.all)
+
+let test_mckernel_memory_local () =
+  (* "it provides its own memory management" — every memory call is
+     served locally (some with deviations). *)
+  List.iter
+    (fun s ->
+      check_bool (Sysno.to_string s) true
+        (Disposition.is_local (Disposition.mckernel s)))
+    (Sysno.of_class Sysno.Memory)
+
+let test_mckernel_files_offloaded () =
+  List.iter
+    (fun s ->
+      check_bool (Sysno.to_string s) true (Disposition.mckernel s = Disposition.Offload))
+    (Sysno.of_class Sysno.Files)
+
+let test_mckernel_small_local_set () =
+  (* "it implements only a small set of performance sensitive system
+     calls.  The rest are offloaded" — the local set must be a
+     minority. *)
+  let local = count_disposition Disposition.mckernel Disposition.is_local in
+  let offload =
+    count_disposition Disposition.mckernel (fun d -> d = Disposition.Offload)
+  in
+  check_bool "offloads outnumber locals" true (offload > local)
+
+let test_mos_fork_partial () =
+  match Disposition.mos Sysno.Fork with
+  | Disposition.Partial _ -> ()
+  | d -> Alcotest.failf "fork should be partial on mOS, got %s" (Disposition.to_string d)
+
+let test_mos_prctl_local () =
+  (* mOS "can directly reuse Linux' ptrace() implementation"
+     (Section II-D4): prctl is clean-local, ptrace nearly. *)
+  check_bool "prctl local" true (Disposition.mos Sysno.Prctl = Disposition.Local)
+
+let test_mckernel_ptrace_partial () =
+  match Disposition.mckernel Sysno.Ptrace with
+  | Disposition.Partial _ -> ()
+  | d ->
+      Alcotest.failf "ptrace should be partial on McKernel, got %s"
+        (Disposition.to_string d)
+
+let test_both_lwk_move_pages_partial () =
+  List.iter
+    (fun table ->
+      match table Sysno.Move_pages with
+      | Disposition.Partial _ -> ()
+      | d -> Alcotest.failf "move_pages should be partial, got %s" (Disposition.to_string d))
+    [ Disposition.mckernel; Disposition.mos ]
+
+let test_sched_yield_local_on_lwks () =
+  check_bool "mckernel" true (Disposition.mckernel Sysno.Sched_yield = Disposition.Local);
+  check_bool "mos" true (Disposition.mos Sysno.Sched_yield = Disposition.Local)
+
+let no_unsupported =
+  QCheck.Test.make ~name:"no syscall is flat-out unsupported" ~count:50
+    QCheck.(oneofl Sysno.all)
+    (fun s ->
+      Disposition.mckernel s <> Disposition.Unsupported
+      && Disposition.mos s <> Disposition.Unsupported)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mk_syscall"
+    [
+      ( "sysno",
+        [
+          Alcotest.test_case "count" `Quick test_all_count;
+          Alcotest.test_case "unique" `Quick test_all_unique;
+          Alcotest.test_case "unique names" `Quick test_names_unique;
+          Alcotest.test_case "class partition" `Quick test_class_partition;
+          Alcotest.test_case "class examples" `Quick test_class_examples;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "positive" `Quick test_costs_positive;
+          Alcotest.test_case "ordering" `Quick test_cost_ordering;
+        ] );
+      ( "disposition",
+        Alcotest.test_case "linux all local" `Quick test_linux_all_local
+        :: Alcotest.test_case "mckernel memory local" `Quick
+             test_mckernel_memory_local
+        :: Alcotest.test_case "mckernel files offloaded" `Quick
+             test_mckernel_files_offloaded
+        :: Alcotest.test_case "mckernel small local set" `Quick
+             test_mckernel_small_local_set
+        :: Alcotest.test_case "mos fork partial" `Quick test_mos_fork_partial
+        :: Alcotest.test_case "mos prctl local" `Quick test_mos_prctl_local
+        :: Alcotest.test_case "mckernel ptrace partial" `Quick
+             test_mckernel_ptrace_partial
+        :: Alcotest.test_case "move_pages partial" `Quick
+             test_both_lwk_move_pages_partial
+        :: Alcotest.test_case "sched_yield local" `Quick
+             test_sched_yield_local_on_lwks
+        :: qsuite [ no_unsupported ] );
+    ]
