@@ -4,7 +4,22 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe fig4       -- one artifact
      (targets: fig4 fig5a fig5b fig6a fig6b table1 brk ltp opts
-               headline micro tools isolation modes csv)
+               headline micro tools isolation modes csv json
+               sensitivity)
+
+   The `results` target is the machine-readable pipeline: it runs the
+   full suite sequentially and in parallel, checks the two agree byte
+   for byte, and writes bench/results/latest.json (plus a tagged file
+   when a tag is given):
+
+     dune exec bench/main.exe -- results             -- latest.json only
+     dune exec bench/main.exe -- results 20260805    -- + 20260805.json
+     dune exec bench/main.exe -- results 20260805 8  -- with 8 jobs
+
+   Simulated time never reads the wall clock, so result files carry
+   no embedded timestamps — the tag (date, commit, …) is the caller's
+   to choose, which keeps reruns reproducible.  Wall-clock is only
+   used to time the harness itself for the speedup record.
 
    Absolute numbers are simulated; the claims under test are the
    *shapes*: who wins, by what factor, where the crossovers sit. *)
@@ -717,6 +732,67 @@ let sensitivity () =
      each headline result is carried by exactly the mechanism the paper\n\
      names, and by nothing else.\n"
 
+(* ------------------------------------------------------------------ *)
+(* RESULTS: the bench/JSON pipeline — suite trajectory on disk        *)
+
+let results_dir = Filename.concat "bench" "results"
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let results ?tag ?jobs () =
+  section "RESULTS — suite trajectory to bench/results/";
+  let jobs =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  let seed = 42 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "sequential suite (%d apps x 3 kernels, %d runs each)...\n%!"
+    (List.length Apps.Registry.all) runs;
+  let seq, seq_s = timed (fun () -> Cluster.Experiment.suite ~runs ~seed ()) in
+  Printf.printf "parallel suite (%d jobs)...\n%!" jobs;
+  let pool = Engine.Pool.create ~num_domains:jobs () in
+  let par, par_s = timed (fun () -> Cluster.Experiment.suite ~pool ~runs ~seed ()) in
+  Engine.Pool.shutdown pool;
+  let render suite =
+    Engine.Json.to_string_pretty (Cluster.Report.suite_json ~runs ~seed suite)
+  in
+  (* The determinism contract, enforced on every results run: the
+     parallel fan-out must not change a single byte of the output. *)
+  if render seq <> render par then
+    failwith "results: parallel suite diverged from sequential suite";
+  Printf.printf "sequential %.1fs, parallel %.1fs (%.2fx), outputs identical\n"
+    seq_s par_s (seq_s /. par_s);
+  let meta =
+    (match tag with Some t -> [ ("tag", Engine.Json.String t) ] | None -> [])
+    @ [
+        ("jobs", Engine.Json.Int jobs);
+        ("sequential_seconds", Engine.Json.Float seq_s);
+        ("parallel_seconds", Engine.Json.Float par_s);
+        ("speedup", Engine.Json.Float (seq_s /. par_s));
+      ]
+  in
+  let doc =
+    Engine.Json.to_string_pretty (Cluster.Report.suite_json ~runs ~seed ~meta par)
+    ^ "\n"
+  in
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755;
+  let latest = Filename.concat results_dir "latest.json" in
+  write_file latest doc;
+  Printf.printf "wrote %s\n" latest;
+  match tag with
+  | None -> ()
+  | Some t ->
+      let tagged = Filename.concat results_dir (t ^ ".json") in
+      write_file tagged doc;
+      Printf.printf "wrote %s\n" tagged
+
 let targets =
   [
     ("fig4", fig4); ("fig5a", fig5a); ("fig5b", fig5b); ("fig6a", fig6a);
@@ -727,15 +803,31 @@ let targets =
   ]
 
 let () =
-  match Sys.argv with
-  | [| _ |] -> List.iter (fun (_, f) -> f ()) targets
-  | [| _; name |] -> (
+  match Array.to_list Sys.argv with
+  | [ _ ] -> List.iter (fun (_, f) -> f ()) targets
+  | _ :: "results" :: rest -> (
+      match rest with
+      | [] -> results ()
+      | [ tag ] -> results ~tag ()
+      | [ tag; jobs ] -> (
+          match int_of_string_opt jobs with
+          | Some j -> results ~tag ~jobs:j ()
+          | None ->
+              Printf.eprintf
+                "results: jobs must be an integer, got %s\n\
+                 usage: main.exe results [tag] [jobs]\n"
+                jobs;
+              exit 1)
+      | _ ->
+          Printf.eprintf "usage: main.exe results [tag] [jobs]\n";
+          exit 1)
+  | [ _; name ] -> (
       match List.assoc_opt name targets with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown target %s; available: %s\n" name
+          Printf.eprintf "unknown target %s; available: %s results\n" name
             (String.concat " " (List.map fst targets));
           exit 1)
   | _ ->
-      Printf.eprintf "usage: main.exe [target]\n";
+      Printf.eprintf "usage: main.exe [target | results [tag] [jobs]]\n";
       exit 1

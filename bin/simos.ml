@@ -2,7 +2,8 @@
 
    Examples:
      simos run --app minife --os mckernel --nodes 1024
-     simos sweep --app ccs-qcd
+     simos sweep --app ccs-qcd -j 4
+     simos suite -j 0 --runs 5
      simos ltp
      simos node --os mos
      simos apps *)
@@ -33,6 +34,18 @@ let runs_arg =
   let doc = "Repetitions for median/min/max (the paper uses 5)." in
   Arg.(value & opt int Cluster.Experiment.default_runs & info [ "runs" ] ~docv:"R" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Parallel simulation jobs: fan independent runs out across $(docv) domains. \
+     1 (the default) is fully sequential; 0 means all cores. Output is \
+     bit-identical for every value of $(docv)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Parallelism is configured process-wide so every Experiment call in
+   the command picks it up without threading a pool through. *)
+let set_jobs jobs = Engine.Pool.set_default_jobs jobs
+
 let lookup_app name =
   match find_app name with
   | Some a -> Ok a
@@ -51,7 +64,8 @@ let lookup_scenario name =
 (* simos run                                                           *)
 
 let run_cmd =
-  let action app os nodes seed =
+  let action app os nodes seed jobs =
+    set_jobs jobs;
     match (lookup_app app, lookup_scenario os) with
     | Ok app, Ok scenario ->
         let r = Cluster.Driver.run ~scenario ~app ~nodes ~seed () in
@@ -66,7 +80,7 @@ let run_cmd =
   let doc = "Run one application under one OS at one scale." in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(ret (const action $ app_arg $ os_arg $ nodes_arg $ seed_arg))
+    Term.(ret (const action $ app_arg $ os_arg $ nodes_arg $ seed_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simos sweep                                                         *)
@@ -79,7 +93,8 @@ let format_arg =
     & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
 
 let sweep_cmd =
-  let action app runs seed format =
+  let action app runs seed format jobs =
+    set_jobs jobs;
     match lookup_app app with
     | Ok app ->
         let series =
@@ -106,7 +121,38 @@ let sweep_cmd =
   in
   let doc = "Sweep one application over its node counts under all three kernels." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(ret (const action $ app_arg $ runs_arg $ seed_arg $ format_arg))
+    Term.(ret (const action $ app_arg $ runs_arg $ seed_arg $ format_arg $ jobs_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simos suite                                                         *)
+
+let suite_cmd =
+  let action runs seed format jobs =
+    set_jobs jobs;
+    let suite = Cluster.Experiment.suite ~runs ~seed () in
+    (match format with
+    | `Table ->
+        Printf.printf
+          "suite: %d applications x {McKernel, mOS, Linux}, median of %d runs\n\n"
+          (List.length suite) runs;
+        print_string (Cluster.Report.suite_table suite)
+    | `Csv ->
+        List.iter
+          (fun (app, series) -> print_string (Cluster.Report.csv ~app series))
+          suite
+    | `Json ->
+        print_endline
+          (Engine.Json.to_string_pretty
+             (Cluster.Report.suite_json ~runs ~seed suite)));
+    `Ok ()
+  in
+  let doc =
+    "Run the paper's full evaluation — every application under all three \
+     kernels at its own node counts — and report the median/best improvement \
+     statistics.  Use --jobs to fan the sweep out across cores."
+  in
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(ret (const action $ runs_arg $ seed_arg $ format_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simos ltp                                                           *)
@@ -195,4 +241,7 @@ let calibration_cmd =
 let () =
   let doc = "lightweight multi-kernel operating system simulator" in
   let info = Cmd.info "simos" ~version ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; ltp_cmd; node_cmd; apps_cmd; calibration_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; suite_cmd; ltp_cmd; node_cmd; apps_cmd; calibration_cmd ]))

@@ -10,10 +10,12 @@ type series = { scenario_label : string; points : point list }
 
 let default_runs = 5
 
-let point ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42) () =
+let point ?pool ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42) () =
   if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
   let results =
-    List.init runs (fun i -> Driver.run ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
+    Mk_engine.Pool.parallel_map ?pool
+      (fun i -> Driver.run ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
+      (List.init runs Fun.id)
   in
   let sorted =
     List.sort (fun (a : Driver.result) b -> compare a.Driver.fom b.Driver.fom) results
@@ -29,15 +31,41 @@ let point ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42) () =
     median_result;
   }
 
-let sweep ~scenario ~app ?node_counts ?runs ?seed () =
+let sweep ?pool ~scenario ~app ?node_counts ?runs ?seed () =
   let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
   {
     scenario_label = scenario.Scenario.label;
-    points = List.map (fun nodes -> point ~scenario ~app ~nodes ?runs ?seed ()) counts;
+    points =
+      Mk_engine.Pool.parallel_map ?pool
+        (fun nodes -> point ?pool ~scenario ~app ~nodes ?runs ?seed ())
+        counts;
   }
 
-let compare_scenarios ~scenarios ~app ?node_counts ?runs ?seed () =
-  List.map (fun scenario -> sweep ~scenario ~app ?node_counts ?runs ?seed ()) scenarios
+let compare_scenarios ?pool ~scenarios ~app ?node_counts ?runs ?seed () =
+  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
+  (* Fan every (scenario × node count) cell out as one job — a single
+     flat batch keeps all workers busy even when scenarios and node
+     counts are few — then regroup by scenario index, so the output
+     is structurally identical to mapping [sweep] over [scenarios]. *)
+  let cells =
+    List.concat
+      (List.mapi
+         (fun i scenario -> List.map (fun nodes -> (i, scenario, nodes)) counts)
+         scenarios)
+  in
+  let cell_points =
+    Mk_engine.Pool.parallel_map ?pool
+      (fun (i, scenario, nodes) ->
+        (i, point ?pool ~scenario ~app ~nodes ?runs ?seed ()))
+      cells
+  in
+  List.mapi
+    (fun i (scenario : Scenario.t) ->
+      {
+        scenario_label = scenario.Scenario.label;
+        points = List.filter_map (fun (j, p) -> if j = i then Some p else None) cell_points;
+      })
+    scenarios
 
 let relative_to ~baseline series =
   List.filter_map
@@ -56,3 +84,9 @@ let best_improvement ratio_lists =
     (fun acc (_, r) -> max acc r)
     neg_infinity
     (List.concat ratio_lists)
+
+let suite ?pool ?(apps = Mk_apps.Registry.all) ?runs ?seed () =
+  List.map
+    (fun app ->
+      (app, compare_scenarios ?pool ~scenarios:Scenario.trio ~app ?runs ?seed ()))
+    apps

@@ -2,7 +2,17 @@
 
     The paper "ran most applications five times and show[s] the
     median … error bars indicating the maximum and minimum values"
-    (Section III-C); [point] carries exactly that. *)
+    (Section III-C); [point] carries exactly that.
+
+    Every repetition and every (scenario × node count) cell is an
+    independent simulation — its own {!Driver} run, its own seed —
+    so the three orchestrators below fan their cells out through
+    {!Mk_engine.Pool.parallel_map}.  Results are reassembled in input
+    order, which makes parallel output bit-identical to sequential
+    output (see [docs/PARALLELISM.md] for the contract, and the
+    determinism test in [test/test_cluster.ml]).  With no [?pool] and
+    no configured default pool everything runs sequentially, exactly
+    as before. *)
 
 type point = {
   nodes : int;
@@ -18,6 +28,7 @@ val default_runs : int
 (** 5, as in the paper. *)
 
 val point :
+  ?pool:Mk_engine.Pool.t ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   nodes:int ->
@@ -25,8 +36,11 @@ val point :
   ?seed:int ->
   unit ->
   point
+(** One cell: [runs] repetitions (seeds [seed], [seed + 100], …)
+    fanned out across the pool, reduced to median/min/max. *)
 
 val sweep :
+  ?pool:Mk_engine.Pool.t ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   ?node_counts:int list ->
@@ -38,6 +52,7 @@ val sweep :
     sweep). *)
 
 val compare_scenarios :
+  ?pool:Mk_engine.Pool.t ->
   scenarios:Scenario.t list ->
   app:Mk_apps.App.t ->
   ?node_counts:int list ->
@@ -45,6 +60,9 @@ val compare_scenarios :
   ?seed:int ->
   unit ->
   series list
+(** The Figure-4 shape: one series per scenario.  All
+    (scenario × node count) cells are submitted as a single flat
+    batch so the pool stays busy across scenario boundaries. *)
 
 val relative_to :
   baseline:series -> series -> (int * float) list
@@ -55,3 +73,15 @@ val median_improvement : (int * float) list list -> float
     (application × node count) pair, of the LWK-vs-Linux ratio. *)
 
 val best_improvement : (int * float) list list -> float
+
+val suite :
+  ?pool:Mk_engine.Pool.t ->
+  ?apps:Mk_apps.App.t list ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  (Mk_apps.App.t * series list) list
+(** The paper's full evaluation: every registered application (or
+    [apps]) against {!Scenario.trio} at its own node counts.  The
+    input to the {!Report} suite views and the [simos suite]
+    command. *)

@@ -129,6 +129,82 @@ let csv ~(app : Mk_apps.App.t) series_list =
   in
   Table.csv ~header:[ "app"; "os"; "nodes"; "median"; "min"; "max" ] rows
 
+(* ------------------------------------------------------------------ *)
+(* Suite views: the eight-apps × three-kernels aggregate.              *)
+
+let baseline_label = "Linux"
+
+let suite_ratios ~label suite =
+  List.filter_map
+    (fun ((_ : Mk_apps.App.t), series) ->
+      let find l =
+        List.find_opt
+          (fun (s : Experiment.series) -> s.Experiment.scenario_label = l)
+          series
+      in
+      match (find baseline_label, find label) with
+      | Some baseline, Some s -> Some (Experiment.relative_to ~baseline s)
+      | _ -> None)
+    suite
+
+let lwk_labels suite =
+  match suite with
+  | [] -> []
+  | (_, series) :: _ ->
+      List.filter_map
+        (fun (s : Experiment.series) ->
+          if s.Experiment.scenario_label = baseline_label then None
+          else Some s.Experiment.scenario_label)
+        series
+
+let suite_headline suite =
+  List.map
+    (fun label ->
+      let r = suite_ratios ~label suite in
+      (label, Experiment.median_improvement r, Experiment.best_improvement r))
+    (lwk_labels suite)
+
+let suite_table suite =
+  let labels = lwk_labels suite in
+  let header =
+    "app" :: "points"
+    :: List.concat_map (fun l -> [ l ^ " median"; l ^ " best" ]) labels
+  in
+  let pct r = Printf.sprintf "%+.1f%%" (100.0 *. (r -. 1.0)) in
+  let rows =
+    List.map
+      (fun ((app : Mk_apps.App.t), series) ->
+        let cells =
+          List.fold_left
+            (fun acc (s : Experiment.series) ->
+              acc + List.length s.Experiment.points)
+            0 series
+        in
+        app.Mk_apps.App.name :: string_of_int cells
+        :: List.concat_map
+             (fun label ->
+               match suite_ratios ~label [ (app, series) ] with
+               | [ ratios ] when ratios <> [] ->
+                   [
+                     pct (Experiment.median_improvement [ ratios ]);
+                     pct (Experiment.best_improvement [ ratios ]);
+                   ]
+               | _ -> [ "-"; "-" ])
+             labels)
+      suite
+  in
+  let headline =
+    List.map
+      (fun (label, median, best) ->
+        Printf.sprintf "%-9s median improvement %+.1f%%, best %+.0f%%" label
+          (100.0 *. (median -. 1.0))
+          (100.0 *. (best -. 1.0)))
+      (suite_headline suite)
+  in
+  Table.render ~header rows
+  ^ "\nImprovement over the Linux baseline across every (app x node count) point:\n"
+  ^ String.concat "\n" headline ^ "\n"
+
 let json ~(app : Mk_apps.App.t) series_list =
   let open Mk_engine.Json in
   let point (p : Experiment.point) =
@@ -161,3 +237,27 @@ let json ~(app : Mk_apps.App.t) series_list =
                  ])
              series_list) );
     ]
+
+let suite_json ~runs ~seed ?(meta = []) suite =
+  let open Mk_engine.Json in
+  Obj
+    ([
+       ("schema", String "multikernel-suite/1");
+       ("runs", Int runs);
+       ("seed", Int seed);
+     ]
+    @ meta
+    @ [
+        ( "headline",
+          Obj
+            (List.map
+               (fun (label, median, best) ->
+                 ( label,
+                   Obj
+                     [
+                       ("median_improvement", Float median);
+                       ("best_improvement", Float best);
+                     ] ))
+               (suite_headline suite)) );
+        ("apps", List (List.map (fun (app, series) -> json ~app series) suite));
+      ])

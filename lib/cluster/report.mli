@@ -26,3 +26,33 @@ val json : app:Mk_apps.App.t -> Experiment.series list -> Mk_engine.Json.t
 (** Structured export: per scenario, per point — median/min/max FOM
     plus the median run's diagnostics (MCDRAM fraction, faults,
     offloads). *)
+
+(** {1 Suite views}
+
+    A {e suite} is the full evaluation: every application paired with
+    its three-kernel comparison, as produced by {!Experiment.suite}.
+    The baseline series is the one labelled ["Linux"]; apps missing a
+    baseline or a comparison series are skipped, not errors. *)
+
+val suite_table : (Mk_apps.App.t * Experiment.series list) list -> string
+(** One row per application — median/best improvement over Linux for
+    each LWK — followed by the paper's headline statistics. *)
+
+val suite_headline :
+  (Mk_apps.App.t * Experiment.series list) list ->
+  (string * float * float) list
+(** Per LWK label: (label, median improvement, best improvement)
+    across every (application × node count) point, as ratios
+    (1.0 = parity).  The paper reports a median of 1.09 with a best
+    of 3.8 (Section I). *)
+
+val suite_json :
+  runs:int ->
+  seed:int ->
+  ?meta:(string * Mk_engine.Json.t) list ->
+  (Mk_apps.App.t * Experiment.series list) list ->
+  Mk_engine.Json.t
+(** The bench/results document: schema tag, run parameters, extra
+    [meta] fields (tag, wall-clock timings …), headline statistics,
+    and the per-app {!json} exports.  Deterministic field order, so
+    byte-identical inputs render byte-identical files. *)

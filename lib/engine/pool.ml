@@ -1,0 +1,152 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Set inside worker bodies so a nested parallel_map (a sweep fanning
+   out points that themselves fan out repetitions) runs sequentially
+   on the worker instead of deadlocking on its own pool. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop pool () =
+  Domain.DLS.set in_worker true;
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec take () =
+      match Queue.take_opt pool.queue with
+      | Some job ->
+          Mutex.unlock pool.mutex;
+          job ();
+          next ()
+      | None ->
+          if pool.stopped then Mutex.unlock pool.mutex
+          else begin
+            Condition.wait pool.nonempty pool.mutex;
+            take ()
+          end
+    in
+    take ()
+  in
+  next ()
+
+let create ?num_domains () =
+  let size =
+    match num_domains with
+    | Some n when n < 1 -> invalid_arg "Pool.create: num_domains must be >= 1"
+    | Some n -> n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stopped = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init size (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let domains = pool.domains in
+  pool.stopped <- true;
+  pool.domains <- [];
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join domains
+
+let submit pool job =
+  Mutex.lock pool.mutex;
+  if pool.stopped then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add job pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide default, configured by the CLI's -j/--jobs flag.       *)
+
+let default_jobs_setting = ref 1
+let default_pool : t option ref = ref None
+let at_exit_registered = ref false
+
+let default_jobs () = !default_jobs_setting
+
+let teardown_default () =
+  match !default_pool with
+  | Some p ->
+      default_pool := None;
+      shutdown p
+  | None -> ()
+
+let set_default_jobs n =
+  let n = if n = 0 then Domain.recommended_domain_count () else max 1 n in
+  teardown_default ();
+  default_jobs_setting := n;
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit teardown_default
+  end
+
+let get_default () =
+  if !default_jobs_setting <= 1 then None
+  else
+    match !default_pool with
+    | Some _ as p -> p
+    | None ->
+        let p = create ~num_domains:!default_jobs_setting () in
+        default_pool := Some p;
+        Some p
+
+(* ------------------------------------------------------------------ *)
+
+let parallel_map_on pool f xs =
+  let inputs = Array.of_list xs in
+  let n = Array.length inputs in
+  let results = Array.make n None in
+  let remaining = ref n in
+  let all_done = Condition.create () in
+  for i = 0 to n - 1 do
+    submit pool (fun () ->
+        let r =
+          try Ok (f inputs.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock pool.mutex;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock pool.mutex)
+  done;
+  Mutex.lock pool.mutex;
+  while !remaining > 0 do
+    Condition.wait all_done pool.mutex
+  done;
+  Mutex.unlock pool.mutex;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+       results)
+
+let parallel_map ?pool f xs =
+  if Domain.DLS.get in_worker then List.map f xs
+  else
+    let pool = match pool with Some _ as p -> p | None -> get_default () in
+    match pool with
+    | Some p when p.size > 1 && List.compare_length_with xs 2 >= 0 ->
+        parallel_map_on p f xs
+    | _ -> List.map f xs

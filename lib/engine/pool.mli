@@ -1,0 +1,62 @@
+(** Fixed-size domain pool for embarrassingly parallel sweeps.
+
+    The experiment layer runs many independent simulations — every
+    {!Mk_cluster.Driver.run} owns its own event queue and PRNG, so a
+    sweep is a pure [map] over (scenario × node count × repetition)
+    cells.  This module fans such maps out across OCaml 5 domains
+    while keeping the output {e bit-identical} to the sequential run:
+
+    - {!parallel_map} preserves input order, so result assembly does
+      not depend on completion order;
+    - workers share nothing: each job closes over its own immutable
+      inputs and writes one private result slot;
+    - a [parallel_map] issued from inside a worker (a nested sweep)
+      degrades to a plain [List.map] on that worker, which both keeps
+      the determinism argument trivial and makes pool deadlock
+      impossible.
+
+    The determinism contract this relies on is spelled out in
+    [docs/PARALLELISM.md]. *)
+
+type t
+(** A pool of worker domains fed from one locked work queue. *)
+
+val create : ?num_domains:int -> unit -> t
+(** [create ?num_domains ()] spawns [num_domains] worker domains
+    (default [max 1 (Domain.recommended_domain_count () - 1)], leaving
+    one core to the submitting domain).  Raises [Invalid_argument] if
+    [num_domains < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join them.  Idempotent.
+    Submitting to a shut-down pool raises [Invalid_argument]. *)
+
+val parallel_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ?pool f xs] is [List.map f xs], evaluated across
+    the pool's domains.  Results are returned in input order.  If any
+    job raises, the first exception (in input order) is re-raised
+    with its backtrace after all jobs have finished.
+
+    Runs sequentially — exactly [List.map f xs] — when [pool] is
+    absent and no default pool is configured, when the pool has a
+    single worker, when [xs] has fewer than two elements, or when
+    called from inside a pool worker. *)
+
+(** {1 Process-wide default}
+
+    The CLI surfaces parallelism as a [-j]/[--jobs] flag; the flag
+    configures this default so library code deep in the experiment
+    layer need not thread a pool through every call site. *)
+
+val set_default_jobs : int -> unit
+(** [set_default_jobs n] makes [parallel_map] calls without an
+    explicit [?pool] use a shared pool of [n] workers.  [n <= 1]
+    means sequential (the initial state); [0] means
+    [Domain.recommended_domain_count ()].  Replacing the setting
+    shuts the previous default pool down. *)
+
+val default_jobs : unit -> int
+(** The currently configured default ([1] initially). *)

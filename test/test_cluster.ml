@@ -245,6 +245,61 @@ let test_des_message_count () =
      iteration, 10 iterations. *)
   check_int "messages" (2 * 15 * 10) des.Cluster_des.messages
 
+let test_parallel_matches_sequential () =
+  (* The determinism contract of docs/PARALLELISM.md: fanning a sweep
+     out across domains must not change one byte of any rendering. *)
+  let a = app "amg" in
+  let counts = [ 1; 2 ] in
+  let sweep ?pool () =
+    Experiment.compare_scenarios ?pool ~scenarios:Scenario.trio ~app:a
+      ~node_counts:counts ~runs:3 ()
+  in
+  let seq = sweep () in
+  let pool = Mk_engine.Pool.create ~num_domains:3 () in
+  let par = sweep ~pool () in
+  Mk_engine.Pool.shutdown pool;
+  Alcotest.(check string)
+    "csv byte-identical" (Report.csv ~app:a seq) (Report.csv ~app:a par);
+  Alcotest.(check string)
+    "json byte-identical"
+    (Mk_engine.Json.to_string (Report.json ~app:a seq))
+    (Mk_engine.Json.to_string (Report.json ~app:a par));
+  Alcotest.(check string)
+    "table byte-identical"
+    (Report.fom_table ~app:a seq)
+    (Report.fom_table ~app:a par)
+
+let test_suite_views () =
+  let a = app "amg" in
+  let series =
+    Experiment.compare_scenarios ~scenarios:Scenario.trio ~app:a
+      ~node_counts:[ 1; 4 ] ~runs:3 ()
+  in
+  let suite = [ (a, series) ] in
+  (match Report.suite_headline suite with
+  | [ (l1, m1, b1); (l2, m2, b2) ] ->
+      Alcotest.(check string) "first label" "McKernel" l1;
+      Alcotest.(check string) "second label" "mOS" l2;
+      check_bool "mck median sane" true (m1 > 0.5 && m1 < 3.0);
+      check_bool "mos median sane" true (m2 > 0.5 && m2 < 3.0);
+      check_bool "best >= median" true (b1 >= m1 && b2 >= m2)
+  | _ -> Alcotest.fail "expected two LWK headline entries");
+  let table = Report.suite_table suite in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "table renders headline" true
+    (String.length table > 50 && contains table "median improvement");
+  match Report.suite_json ~runs:3 ~seed:42 suite with
+  | Mk_engine.Json.Obj fields ->
+      check_bool "schema tagged" true
+        (List.assoc "schema" fields = Mk_engine.Json.String "multikernel-suite/1");
+      check_bool "headline present" true (List.mem_assoc "headline" fields);
+      check_bool "apps present" true (List.mem_assoc "apps" fields)
+  | _ -> Alcotest.fail "suite_json must be an object"
+
 let test_report_renders () =
   let a = app "amg" in
   let series =
@@ -286,6 +341,9 @@ let () =
           Alcotest.test_case "point statistics" `Quick test_experiment_point_statistics;
           Alcotest.test_case "relative_to" `Slow test_relative_to;
           Alcotest.test_case "median improvement" `Quick test_median_improvement;
+          Alcotest.test_case "parallel matches sequential" `Slow
+            test_parallel_matches_sequential;
+          Alcotest.test_case "suite views" `Slow test_suite_views;
           Alcotest.test_case "report renders" `Slow test_report_renders;
         ] );
       ( "validation",

@@ -321,6 +321,92 @@ let test_json_empty_containers () =
   Alcotest.(check string) "empty obj" "{}" (Json.to_string (Json.Obj []))
 
 (* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_invalid_size () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Pool.create: num_domains must be >= 1") (fun () ->
+      ignore (Pool.create ~num_domains:0 ()))
+
+let test_pool_ordering () =
+  let pool = Pool.create ~num_domains:4 () in
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved"
+    (List.map (fun i -> i * i) xs)
+    (Pool.parallel_map ~pool (fun i -> i * i) xs);
+  Pool.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~num_domains:3 () in
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom 7") (fun () ->
+      ignore
+        (Pool.parallel_map ~pool
+           (fun i -> if i = 7 then failwith "boom 7" else i)
+           (List.init 20 Fun.id)));
+  (* A failed batch must not poison the pool. *)
+  Alcotest.(check (list int))
+    "usable after failure" [ 2; 4 ]
+    (Pool.parallel_map ~pool (fun x -> 2 * x) [ 1; 2 ]);
+  Pool.shutdown pool
+
+let test_pool_reuse () =
+  let pool = Pool.create ~num_domains:2 () in
+  for round = 1 to 5 do
+    let xs = List.init 37 (fun i -> i + round) in
+    Alcotest.(check (list int))
+      "round result" (List.map succ xs)
+      (Pool.parallel_map ~pool succ xs)
+  done;
+  Pool.shutdown pool
+
+let test_pool_single_worker_degenerate () =
+  let pool = Pool.create ~num_domains:1 () in
+  check_int "size" 1 (Pool.size pool);
+  Alcotest.(check (list int))
+    "sequential fallback" [ 1; 4; 9 ]
+    (Pool.parallel_map ~pool (fun i -> i * i) [ 1; 2; 3 ]);
+  Pool.shutdown pool
+
+let test_pool_nested_map () =
+  (* A map inside a worker (sweep -> point) degrades to List.map on
+     that worker: same results, no deadlock. *)
+  let pool = Pool.create ~num_domains:2 () in
+  let result =
+    Pool.parallel_map ~pool
+      (fun i -> Pool.parallel_map ~pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+      (List.init 6 Fun.id)
+  in
+  Alcotest.(check (list (list int)))
+    "nested results"
+    (List.init 6 (fun i -> [ 10 * i; (10 * i) + 1; (10 * i) + 2 ]))
+    result;
+  Pool.shutdown pool
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~num_domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.parallel_map ~pool Fun.id [ 1; 2; 3 ]))
+
+let test_pool_default_jobs () =
+  check_int "initially sequential" 1 (Pool.default_jobs ());
+  Alcotest.(check (list int))
+    "no default pool" [ 2; 3 ]
+    (Pool.parallel_map succ [ 1; 2 ]);
+  Pool.set_default_jobs 3;
+  check_int "configured" 3 (Pool.default_jobs ());
+  Alcotest.(check (list int))
+    "default pool used"
+    (List.init 50 (fun i -> i * 3))
+    (Pool.parallel_map (fun i -> i * 3) (List.init 50 Fun.id));
+  Pool.set_default_jobs 1;
+  check_int "back to sequential" 1 (Pool.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
 (* More distributions *)
 
 let test_poisson_mean () =
@@ -442,6 +528,19 @@ let () =
           Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
           Alcotest.test_case "pareto support" `Quick test_pareto_support;
           Alcotest.test_case "normal quantile" `Quick test_normal_quantile_symmetry;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "invalid size" `Quick test_pool_invalid_size;
+          Alcotest.test_case "ordering preserved" `Quick test_pool_ordering;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "single worker degenerate" `Quick
+            test_pool_single_worker_degenerate;
+          Alcotest.test_case "nested map" `Quick test_pool_nested_map;
+          Alcotest.test_case "shutdown rejects" `Quick test_pool_shutdown_rejects;
+          Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
         ] );
       ( "table",
         [
