@@ -5,7 +5,7 @@
      dune exec bench/main.exe fig4       -- one artifact
      (targets: fig4 fig5a fig5b fig6a fig6b table1 brk ltp opts
                headline micro tools isolation modes csv json
-               sensitivity)
+               sensitivity faults)
 
    The `results` target is the machine-readable pipeline: it runs the
    full suite sequentially and in parallel, checks the two agree byte
@@ -737,10 +737,9 @@ let sensitivity () =
 
 let results_dir = Filename.concat "bench" "results"
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
+(* Crash-safe: a killed bench run can leave a stale .tmp behind but
+   never a torn latest.json. *)
+let write_file path contents = Engine.Atomic_file.write path contents
 
 let results ?tag ?jobs () =
   section "RESULTS — suite trajectory to bench/results/";
@@ -793,13 +792,69 @@ let results ?tag ?jobs () =
       write_file tagged doc;
       Printf.printf "wrote %s\n" tagged
 
+(* ------------------------------------------------------------------ *)
+(* FAULTS: degradation tables + isolation demo, through the pipeline  *)
+
+let faults () =
+  section "FAULTS — degradation under escalating fault rates";
+  let pool =
+    Engine.Pool.create ~num_domains:(Domain.recommended_domain_count ()) ()
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let tables =
+    [
+      Cluster.Degradation.run ~pool ~app:(app_exn "hpcg") ~nodes:64
+        ~preset:"mixed" ~runs ();
+      Cluster.Degradation.run ~pool ~app:(app_exn "minife") ~nodes:256
+        ~preset:"mixed" ~runs ();
+    ]
+  in
+  List.iter
+    (fun t ->
+      print_string (Cluster.Degradation.render t);
+      print_newline ())
+    tables;
+  let demo = Cluster.Degradation.isolation_demo ~pool ~runs () in
+  print_string (Cluster.Degradation.render_demo demo);
+  let doc =
+    Engine.Json.to_string_pretty
+      (Engine.Json.Obj
+         [
+           ("schema", Engine.Json.String "multikernel-faults-report/1");
+           ( "tables",
+             Engine.Json.List (List.map Cluster.Degradation.to_json tables) );
+           ("isolation_demo", Cluster.Degradation.demo_to_json demo);
+         ])
+    ^ "\n"
+  in
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755;
+  let path = Filename.concat results_dir "faults.json" in
+  write_file path doc;
+  Printf.printf "wrote %s\n" path
+
+(* The CI parse gate: a results file on disk must always be complete,
+   valid JSON — the atomic writer makes a torn file impossible, this
+   catches manual edits and schema-level corruption. *)
+let check_results () =
+  let check path =
+    if Sys.file_exists path then
+      match Engine.Json.of_string (Engine.Atomic_file.read path) with
+      | Ok _ -> Printf.printf "%s parses\n" path
+      | Error e ->
+          Printf.eprintf "%s is corrupt: %s\n" path e;
+          exit 1
+    else Printf.printf "%s absent (run the results/faults target first)\n" path
+  in
+  check (Filename.concat results_dir "latest.json");
+  check (Filename.concat results_dir "faults.json")
+
 let targets =
   [
     ("fig4", fig4); ("fig5a", fig5a); ("fig5b", fig5b); ("fig6a", fig6a);
     ("fig6b", fig6b); ("table1", table1); ("brk", brk); ("ltp", ltp);
     ("opts", opts); ("headline", headline); ("micro", micro);
     ("tools", tools); ("isolation", isolation); ("modes", modes); ("csv", csv);
-    ("json", json); ("sensitivity", sensitivity);
+    ("json", json); ("sensitivity", sensitivity); ("faults", faults);
   ]
 
 let () =
@@ -821,6 +876,7 @@ let () =
       | _ ->
           Printf.eprintf "usage: main.exe results [tag] [jobs]\n";
           exit 1)
+  | [ _; "check-results" ] -> check_results ()
   | [ _; name ] -> (
       match List.assoc_opt name targets with
       | Some f -> f ()

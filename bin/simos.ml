@@ -46,36 +46,29 @@ let jobs_arg =
    the command picks it up without threading a pool through. *)
 let set_jobs jobs = Engine.Pool.set_default_jobs jobs
 
-let lookup_app name =
-  match find_app name with
-  | Some a -> Ok a
-  | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown application %s (try: %s)" name
-              (String.concat ", " app_names)))
-
-let lookup_scenario name =
-  match Cluster.Scenario.find name with
-  | Some s -> Ok s
-  | None -> Error (`Msg (Printf.sprintf "unknown OS %s (linux, mckernel, mos)" name))
+(* Validation lives in Cluster.Validate so the one-line messages are
+   unit-tested; here we only map [Error msg] onto cmdliner's clean
+   exit path. *)
+let ( let* ) r f =
+  match r with Ok v -> f v | Error m -> `Error (false, m)
 
 (* ------------------------------------------------------------------ *)
 (* simos run                                                           *)
 
 let run_cmd =
   let action app os nodes seed jobs =
+    let* app = Cluster.Validate.app app in
+    let* scenario = Cluster.Validate.scenario os in
+    let* nodes = Cluster.Validate.nodes nodes in
+    let* jobs = Cluster.Validate.jobs jobs in
     set_jobs jobs;
-    match (lookup_app app, lookup_scenario os) with
-    | Ok app, Ok scenario ->
-        let r = Cluster.Driver.run ~scenario ~app ~nodes ~seed () in
-        Format.printf "%s on %s, %d node(s):@." app.Apps.App.name
-          scenario.Cluster.Scenario.label nodes;
-        Format.printf "  %a@." Cluster.Driver.pp_result r;
-        Format.printf "  figure of merit: %.5g %s@." r.Cluster.Driver.fom
-          app.Apps.App.fom_unit;
-        `Ok ()
-    | Error (`Msg m), _ | _, Error (`Msg m) -> `Error (false, m)
+    let r = Cluster.Driver.run ~scenario ~app ~nodes ~seed () in
+    Format.printf "%s on %s, %d node(s):@." app.Apps.App.name
+      scenario.Cluster.Scenario.label nodes;
+    Format.printf "  %a@." Cluster.Driver.pp_result r;
+    Format.printf "  figure of merit: %.5g %s@." r.Cluster.Driver.fom
+      app.Apps.App.fom_unit;
+    `Ok ()
   in
   let doc = "Run one application under one OS at one scale." in
   Cmd.v
@@ -94,30 +87,30 @@ let format_arg =
 
 let sweep_cmd =
   let action app runs seed format jobs =
+    let* app = Cluster.Validate.app app in
+    let* runs = Cluster.Validate.runs runs in
+    let* jobs = Cluster.Validate.jobs jobs in
     set_jobs jobs;
-    match lookup_app app with
-    | Ok app ->
-        let series =
-          Cluster.Experiment.compare_scenarios ~scenarios:Cluster.Scenario.trio ~app
-            ~runs ~seed ()
+    let series =
+      Cluster.Experiment.compare_scenarios ~scenarios:Cluster.Scenario.trio ~app
+        ~runs ~seed ()
+    in
+    (match format with
+    | `Csv -> print_string (Cluster.Report.csv ~app series)
+    | `Json ->
+        print_endline
+          (Engine.Json.to_string_pretty (Cluster.Report.json ~app series))
+    | `Table ->
+        print_string (Cluster.Report.fom_table ~app series);
+        let baseline =
+          List.find
+            (fun (s : Cluster.Experiment.series) ->
+              s.Cluster.Experiment.scenario_label = "Linux")
+            series
         in
-        (match format with
-        | `Csv -> print_string (Cluster.Report.csv ~app series)
-        | `Json ->
-            print_endline
-              (Engine.Json.to_string_pretty (Cluster.Report.json ~app series))
-        | `Table ->
-            print_string (Cluster.Report.fom_table ~app series);
-            let baseline =
-              List.find
-                (fun (s : Cluster.Experiment.series) ->
-                  s.Cluster.Experiment.scenario_label = "Linux")
-                series
-            in
-            print_string (Cluster.Report.relative_table ~app ~baseline series);
-            print_string (Cluster.Report.relative_chart ~app ~baseline series));
-        `Ok ()
-    | Error (`Msg m) -> `Error (false, m)
+        print_string (Cluster.Report.relative_table ~app ~baseline series);
+        print_string (Cluster.Report.relative_chart ~app ~baseline series));
+    `Ok ()
   in
   let doc = "Sweep one application over its node counts under all three kernels." in
   Cmd.v (Cmd.info "sweep" ~doc)
@@ -128,6 +121,8 @@ let sweep_cmd =
 
 let suite_cmd =
   let action runs seed format jobs =
+    let* runs = Cluster.Validate.runs runs in
+    let* jobs = Cluster.Validate.jobs jobs in
     set_jobs jobs;
     let suite = Cluster.Experiment.suite ~runs ~seed () in
     (match format with
@@ -177,9 +172,8 @@ let ltp_cmd =
 
 let node_cmd =
   let action os =
-    match lookup_scenario os with
-    | Ok scenario ->
-        let k = scenario.Cluster.Scenario.make () in
+    let* scenario = Cluster.Validate.scenario os in
+    let k = scenario.Cluster.Scenario.make () in
         Format.printf "%s (%s)@." k.Kernel.Os.name
           (Kernel.Os.kind_to_string k.Kernel.Os.kind);
         Format.printf "  cores: %d app / %d OS, %d hw threads per core@."
@@ -212,7 +206,6 @@ let node_cmd =
         Format.printf "  syscalls: %d local, %d offloaded, %d partial@." locals
           offloads partials;
         `Ok ()
-    | Error (`Msg m) -> `Error (false, m)
   in
   let doc = "Describe a booted node under the given kernel." in
   Cmd.v (Cmd.info "node" ~doc) Term.(ret (const action $ os_arg))
@@ -238,10 +231,86 @@ let calibration_cmd =
   let doc = "Print the calibration audit: every cost constant with provenance." in
   Cmd.v (Cmd.info "calibration" ~doc) Term.(const action $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* simos faults                                                        *)
+
+let plan_arg =
+  let doc =
+    "Fault-plan preset for a degradation table (node-crash, core-degrade, \
+     link-degrade, link-flap, nic-stall, daemon-hang, proxy-crash, \
+     thread-loss, mixed).  Without $(docv) the isolation demo runs instead."
+  in
+  Arg.(value & opt (some string) None & info [ "plan"; "p" ] ~docv:"PRESET" ~doc)
+
+let fault_app_arg =
+  let doc = "Application model for the degradation table." in
+  Arg.(value & opt string "hpcg" & info [ "app"; "a" ] ~docv:"APP" ~doc)
+
+let fault_nodes_arg =
+  let doc = "Node count for the degradation table." in
+  Arg.(value & opt int 64 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let rates_arg =
+  let doc = "Comma-separated fault rates (expected events per node per run)." in
+  Arg.(value & opt string "0.5,1,2" & info [ "rates" ] ~docv:"RATES" ~doc)
+
+let fault_format_arg =
+  let doc = "Output format: table or json." in
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+
+let faults_cmd =
+  let action plan app nodes rates runs seed format jobs =
+    let* runs = Cluster.Validate.runs runs in
+    let* jobs = Cluster.Validate.jobs jobs in
+    set_jobs jobs;
+    match plan with
+    | None ->
+        let demo = Cluster.Degradation.isolation_demo ~runs ~seed () in
+        (match format with
+        | `Table -> print_string (Cluster.Degradation.render_demo demo)
+        | `Json ->
+            print_endline
+              (Engine.Json.to_string_pretty
+                 (Cluster.Degradation.demo_to_json demo)));
+        `Ok ()
+    | Some preset ->
+        let* preset = Cluster.Validate.fault_preset preset in
+        let* app = Cluster.Validate.app app in
+        let* nodes = Cluster.Validate.nodes nodes in
+        let* rates = Cluster.Validate.rates rates in
+        let table =
+          Cluster.Degradation.run ~app ~nodes ~preset ~rates ~runs ~seed ()
+        in
+        (match format with
+        | `Table -> print_string (Cluster.Degradation.render table)
+        | `Json ->
+            print_endline
+              (Engine.Json.to_string_pretty (Cluster.Degradation.to_json table)));
+        `Ok ()
+  in
+  let doc =
+    "Inject deterministic faults.  Without --plan, run the isolation demo: a \
+     Linux daemon hang must hurt Linux but not the LWKs, and a McKernel \
+     proxy crash must hurt syscall-heavy LAMMPS but not pure-compute MiniFE. \
+     With --plan, print a degradation table for one application under \
+     escalating fault rates across all three kernels."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      ret
+        (const action $ plan_arg $ fault_app_arg $ fault_nodes_arg $ rates_arg
+       $ runs_arg $ seed_arg $ fault_format_arg $ jobs_arg))
+
 let () =
   let doc = "lightweight multi-kernel operating system simulator" in
   let info = Cmd.info "simos" ~version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; suite_cmd; ltp_cmd; node_cmd; apps_cmd; calibration_cmd ]))
+          [
+            run_cmd; sweep_cmd; suite_cmd; faults_cmd; ltp_cmd; node_cmd;
+            apps_cmd; calibration_cmd;
+          ]))

@@ -11,6 +11,15 @@ cd "$(dirname "$0")"
 dune build
 dune runtest
 
+# Robustness gates, run explicitly so a failure is attributable even
+# though `dune runtest` covers the same suites: the fault-injection
+# subsystem and the crash-safe atomic-write path.
+dune exec test/test_fault.exe >/dev/null
+dune exec test/test_engine.exe -- test atomic-file >/dev/null
+
+# Any results snapshot on disk must still be valid JSON.
+dune exec bench/main.exe -- check-results
+
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc
 else

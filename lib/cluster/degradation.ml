@@ -1,0 +1,294 @@
+open Mk_engine
+
+type cell = {
+  rate : float;
+  fom : float;
+  vs_healthy : float;
+  dead_nodes : int;
+  recoveries : int;
+  fault_events : int;
+}
+
+type row = { scenario : string; healthy_fom : float; cells : cell list }
+
+type table = {
+  app : string;
+  nodes : int;
+  preset : string;
+  runs : int;
+  seed : int;
+  rows : row list;
+}
+
+let default_rates = [ 0.5; 1.0; 2.0 ]
+
+(* Mirrors the driver's simulated-iteration count so plan events land
+   inside the measured window. *)
+let sim_iterations (app : Mk_apps.App.t) =
+  max 2 (min app.Mk_apps.App.sim_iterations app.Mk_apps.App.iterations)
+
+let plan_for ~preset ~rate ~app ~nodes ~seed =
+  match Mk_fault.Plan.preset_spec preset ~rate with
+  | None -> invalid_arg (Printf.sprintf "Degradation: unknown preset %S" preset)
+  | Some spec ->
+      Mk_fault.Plan.generate ~spec ~nodes ~iterations:(sim_iterations app)
+        ~seed:(seed + 7919)
+
+let run ?pool ?(scenarios = Scenario.trio) ~app ~nodes ~preset
+    ?(rates = default_rates) ?(runs = Experiment.default_runs) ?(seed = 42) () =
+  (* Fail on a bad preset before any simulation runs. *)
+  List.iter
+    (fun rate -> ignore (plan_for ~preset ~rate ~app ~nodes ~seed))
+    (match rates with [] -> [ 0.0 ] | l -> l);
+  (* One flat batch over (scenario × rate-or-healthy) cells, like
+     Experiment.compare_scenarios: keeps every worker busy and the
+     output independent of completion order. *)
+  let cells =
+    List.concat
+      (List.mapi
+         (fun i scenario ->
+           (i, scenario, None)
+           :: List.map (fun rate -> (i, scenario, Some rate)) rates)
+         scenarios)
+  in
+  let cell_results =
+    Pool.parallel_map ?pool
+      (fun (i, scenario, rate) ->
+        let faults =
+          Option.map
+            (fun rate -> plan_for ~preset ~rate ~app ~nodes ~seed)
+            rate
+        in
+        (i, rate, Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ()))
+      cells
+  in
+  let rows =
+    List.mapi
+      (fun i (scenario : Scenario.t) ->
+        let mine =
+          List.filter_map
+            (fun (j, rate, p) -> if j = i then Some (rate, p) else None)
+            cell_results
+        in
+        let healthy =
+          match List.assoc_opt None (List.map (fun (r, p) -> (r, p)) mine) with
+          | Some p -> p
+          | None -> assert false
+        in
+        let healthy_fom = healthy.Experiment.median_fom in
+        let cells =
+          List.filter_map
+            (fun (rate, (p : Experiment.point)) ->
+              match rate with
+              | None -> None
+              | Some rate ->
+                  let r = p.Experiment.median_result in
+                  Some
+                    {
+                      rate;
+                      fom = p.Experiment.median_fom;
+                      vs_healthy =
+                        (if healthy_fom > 0.0 then
+                           p.Experiment.median_fom /. healthy_fom
+                         else 1.0);
+                      dead_nodes = r.Driver.dead_nodes;
+                      recoveries = r.Driver.recoveries;
+                      fault_events = r.Driver.fault_events;
+                    })
+            mine
+        in
+        { scenario = scenario.Scenario.label; healthy_fom; cells })
+      scenarios
+  in
+  { app = app.Mk_apps.App.name; nodes; preset; runs; seed; rows }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "fault degradation — %s @ %d nodes, preset %s (%d runs, seed %d)\n"
+       t.app t.nodes t.preset t.runs t.seed);
+  Buffer.add_string buf (Printf.sprintf "%-12s %14s" "scenario" "healthy");
+  (match t.rows with
+  | { cells; _ } :: _ ->
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf " %18s" (Printf.sprintf "rate %.2g" c.rate)))
+        cells
+  | [] -> ());
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %14.4g" row.scenario row.healthy_fom);
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf " %18s"
+               (Printf.sprintf "%.4g (%+.1f%%)" c.fom
+                  ((c.vs_healthy -. 1.) *. 100.))))
+        row.cells;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "multikernel-faults/1");
+      ("app", Json.String t.app);
+      ("nodes", Json.Int t.nodes);
+      ("preset", Json.String t.preset);
+      ("runs", Json.Int t.runs);
+      ("seed", Json.Int t.seed);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [
+                   ("scenario", Json.String row.scenario);
+                   ("healthy_fom", Json.Float row.healthy_fom);
+                   ( "cells",
+                     Json.List
+                       (List.map
+                          (fun c ->
+                            Json.Obj
+                              [
+                                ("rate", Json.Float c.rate);
+                                ("fom", Json.Float c.fom);
+                                ("vs_healthy", Json.Float c.vs_healthy);
+                                ("dead_nodes", Json.Int c.dead_nodes);
+                                ("recoveries", Json.Int c.recoveries);
+                                ("fault_events", Json.Int c.fault_events);
+                              ])
+                          row.cells) );
+                 ])
+             t.rows) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Isolation demo                                                      *)
+
+type demo_row = {
+  label : string;
+  healthy : float;
+  faulted : float;
+  delta_pct : float;
+  noise_pct : float;
+}
+
+type demo = {
+  hpcg_daemon_hang : demo_row list;
+  lammps_proxy : demo_row;
+  minife_proxy : demo_row;
+}
+
+let demo_row ~label ~(healthy : Experiment.point) ~(faulted : Experiment.point) =
+  let h = healthy.Experiment.median_fom in
+  let f = faulted.Experiment.median_fom in
+  {
+    label;
+    healthy = h;
+    faulted = f;
+    delta_pct = (if h > 0.0 then ((f /. h) -. 1.) *. 100. else 0.0);
+    noise_pct =
+      (if h > 0.0 then
+         (healthy.Experiment.max_fom -. healthy.Experiment.min_fom) /. h *. 100.
+       else 0.0);
+  }
+
+let isolation_demo ?pool ?(runs = Experiment.default_runs) ?(seed = 42) () =
+  let hpcg = Mk_apps.Hpcg.app and lammps = Mk_apps.Lammps.app
+  and minife = Mk_apps.Minife.app in
+  let hang_64 = Mk_fault.Plan.daemon_hang_demo ~nodes:64 in
+  let crash_16 = Mk_fault.Plan.proxy_crash_demo ~nodes:16 in
+  let crash_256 = Mk_fault.Plan.proxy_crash_demo ~nodes:256 in
+  (* Flat cell batch: label × scenario × app × nodes × plan option. *)
+  let cells =
+    List.map
+      (fun (s : Scenario.t) -> (s.Scenario.label, s, hpcg, 64, None))
+      Scenario.trio
+    @ List.map
+        (fun (s : Scenario.t) -> (s.Scenario.label, s, hpcg, 64, Some hang_64))
+        Scenario.trio
+    @ [
+        ("lammps-h", Scenario.mckernel, lammps, 16, None);
+        ("lammps-f", Scenario.mckernel, lammps, 16, Some crash_16);
+        ("minife-h", Scenario.mckernel, minife, 256, None);
+        ("minife-f", Scenario.mckernel, minife, 256, Some crash_256);
+      ]
+  in
+  let results =
+    Pool.parallel_map ?pool
+      (fun (_, scenario, app, nodes, faults) ->
+        Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ())
+      cells
+  in
+  let tagged = List.combine (List.map (fun (l, _, _, _, p) -> (l, p)) cells) results in
+  let find label faulted =
+    match
+      List.find_opt
+        (fun ((l, p), _) -> l = label && Option.is_some p = faulted)
+        tagged
+    with
+    | Some (_, p) -> p
+    | None -> assert false
+  in
+  {
+    hpcg_daemon_hang =
+      List.map
+        (fun (s : Scenario.t) ->
+          let l = s.Scenario.label in
+          demo_row ~label:l ~healthy:(find l false) ~faulted:(find l true))
+        Scenario.trio;
+    lammps_proxy =
+      demo_row ~label:"McKernel LAMMPS@16"
+        ~healthy:(find "lammps-h" false)
+        ~faulted:(find "lammps-f" true);
+    minife_proxy =
+      demo_row ~label:"McKernel MiniFE@256"
+        ~healthy:(find "minife-h" false)
+        ~faulted:(find "minife-f" true);
+  }
+
+let render_demo d =
+  let buf = Buffer.create 1024 in
+  let line r =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-22s healthy %10.4g   faulted %10.4g   delta %+6.2f%%  (noise ±%.2f%%)\n"
+         r.label r.healthy r.faulted r.delta_pct (r.noise_pct /. 2.))
+  in
+  Buffer.add_string buf
+    "isolation demo 1 — Linux daemon hang, HPCG @ 64 nodes\n";
+  Buffer.add_string buf
+    "  (the hang wedges node 1's Linux partition for 6 of 10 iterations)\n";
+  List.iter line d.hpcg_daemon_hang;
+  Buffer.add_string buf
+    "isolation demo 2 — McKernel proxy crash (3 crashes over the run)\n";
+  line d.lammps_proxy;
+  line d.minife_proxy;
+  Buffer.add_string buf
+    "  LAMMPS offloads ~1800 control syscalls per iteration through the proxy;\n";
+  Buffer.add_string buf
+    "  MiniFE at 256 nodes sends halos below the eager threshold — no offloaded\n";
+  Buffer.add_string buf
+    "  control path, so a dead proxy goes unnoticed by pure compute.\n";
+  Buffer.contents buf
+
+let demo_row_json r =
+  Json.Obj
+    [
+      ("label", Json.String r.label);
+      ("healthy_fom", Json.Float r.healthy);
+      ("faulted_fom", Json.Float r.faulted);
+      ("delta_pct", Json.Float r.delta_pct);
+      ("noise_pct", Json.Float r.noise_pct);
+    ]
+
+let demo_to_json d =
+  Json.Obj
+    [
+      ("schema", Json.String "multikernel-faults-demo/1");
+      ("hpcg_daemon_hang", Json.List (List.map demo_row_json d.hpcg_daemon_hang));
+      ("lammps_proxy", demo_row_json d.lammps_proxy);
+      ("minife_proxy", demo_row_json d.minife_proxy);
+    ]

@@ -1,0 +1,80 @@
+(** Degradation tables: median FOM under escalating fault rates.
+
+    The fault-injection counterpart of {!Report}: one row per
+    scenario, one cell per fault rate, each cell a full
+    {!Experiment.point} run under a generated {!Mk_fault.Plan} — the
+    {e same} plan for every scenario at a given rate, so the table
+    compares how the three kernels absorb one identical fault
+    timeline.  Everything is deterministic in [(app, nodes, preset,
+    rates, runs, seed)]. *)
+
+type cell = {
+  rate : float;
+  fom : float;
+  vs_healthy : float;  (** [fom /. healthy_fom]; 1.0 = unharmed *)
+  dead_nodes : int;
+  recoveries : int;
+  fault_events : int;
+}
+
+type row = { scenario : string; healthy_fom : float; cells : cell list }
+
+type table = {
+  app : string;
+  nodes : int;
+  preset : string;
+  runs : int;
+  seed : int;
+  rows : row list;
+}
+
+val default_rates : float list
+(** [[0.5; 1.0; 2.0]] expected events per node per run. *)
+
+val run :
+  ?pool:Mk_engine.Pool.t ->
+  ?scenarios:Scenario.t list ->
+  app:Mk_apps.App.t ->
+  nodes:int ->
+  preset:string ->
+  ?rates:float list ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  table
+(** Raises [Invalid_argument] on an unknown preset (validate first
+    with {!Validate.fault_preset}). *)
+
+val render : table -> string
+val to_json : table -> Mk_engine.Json.t
+
+(** {1 Isolation demo}
+
+    The acceptance experiment for the paper's isolation claim
+    (docs/FAULTS.md): a Linux-daemon hang must visibly degrade the
+    Linux HPCG@64 median while both LWKs move under 1 %; a proxy
+    crash must degrade McKernel's syscall-heavy LAMMPS point while
+    its MiniFE@256 compute phases (no offloaded control traffic at
+    that scale) stay within noise. *)
+
+type demo_row = {
+  label : string;
+  healthy : float;
+  faulted : float;
+  delta_pct : float;  (** [(faulted /. healthy -. 1.) *. 100.] *)
+  noise_pct : float;
+      (** healthy min-max spread as a percentage of the median — the
+          natural run-to-run noise the deltas are judged against *)
+}
+
+type demo = {
+  hpcg_daemon_hang : demo_row list;  (** one row per trio scenario *)
+  lammps_proxy : demo_row;  (** McKernel, syscall-heavy point *)
+  minife_proxy : demo_row;  (** McKernel, pure-compute point *)
+}
+
+val isolation_demo :
+  ?pool:Mk_engine.Pool.t -> ?runs:int -> ?seed:int -> unit -> demo
+
+val render_demo : demo -> string
+val demo_to_json : demo -> Mk_engine.Json.t

@@ -38,10 +38,15 @@ type result = {
   faults : int;  (** demand faults on the representative node *)
   offloads_per_iteration : int;
   failures : int;
+  fault_events : int;  (** injected fault events applied (0 when off) *)
+  dead_nodes : int;  (** nodes lost to injected crashes *)
+  recoveries : int;
+      (** recovery episodes priced: crash detections + proxy respawns *)
 }
 
 val run :
   ?eager_threshold:int ->
+  ?faults:Mk_fault.Plan.t ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   nodes:int ->
@@ -49,6 +54,15 @@ val run :
   unit ->
   result
 (** [eager_threshold] overrides the NIC's eager/rendezvous switch —
-    the knob for the LAMMPS-sensitivity ablation. *)
+    the knob for the LAMMPS-sensitivity ablation.
+
+    [faults] injects a deterministic fault plan
+    ({!Mk_fault.Plan}); containment semantics per kernel are spelled
+    out in docs/FAULTS.md.  Omitting it — or passing
+    {!Mk_fault.Plan.empty} — runs the exact healthy arithmetic: the
+    fault layer is zero-cost when off.  Dead nodes' clocks freeze;
+    collectives route around them ({!Mk_mpi.Resilient}); survivors
+    pay detection, retry and respawn costs under the kernel's
+    {!Mk_fault.Retry.policy}. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -10,11 +10,12 @@ type series = { scenario_label : string; points : point list }
 
 let default_runs = 5
 
-let point ?pool ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42) () =
+let point ?pool ?faults ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42)
+    () =
   if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
   let results =
     Mk_engine.Pool.parallel_map ?pool
-      (fun i -> Driver.run ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
+      (fun i -> Driver.run ?faults ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
       (List.init runs Fun.id)
   in
   let sorted =

@@ -29,6 +29,7 @@ val default_runs : int
 
 val point :
   ?pool:Mk_engine.Pool.t ->
+  ?faults:Mk_fault.Plan.t ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   nodes:int ->
@@ -37,7 +38,9 @@ val point :
   unit ->
   point
 (** One cell: [runs] repetitions (seeds [seed], [seed + 100], …)
-    fanned out across the pool, reduced to median/min/max. *)
+    fanned out across the pool, reduced to median/min/max.  [faults]
+    applies the same fault plan to every repetition, so the medians
+    compare a fixed fault timeline across kernels and seeds. *)
 
 val sweep :
   ?pool:Mk_engine.Pool.t ->

@@ -12,6 +12,7 @@ module Mpi = Mk_mpi
 module Apps = Mk_apps
 module Cluster = Mk_cluster
 module Compat = Mk_compat
+module Fault = Mk_fault
 
 let version = "1.0.0"
 

@@ -33,7 +33,8 @@
     - {!Fabric}, {!Mpi}: Omni-Path-like interconnect and MPI runtime.
     - {!Apps}: the eight application models.
     - {!Cluster}: the 2,048-node experiment driver.
-    - {!Compat}: the LTP-like compatibility corpus. *)
+    - {!Compat}: the LTP-like compatibility corpus.
+    - {!Fault}: deterministic fault injection (docs/FAULTS.md). *)
 
 module Engine = Mk_engine
 module Hw = Mk_hw
@@ -49,6 +50,7 @@ module Mpi = Mk_mpi
 module Apps = Mk_apps
 module Cluster = Mk_cluster
 module Compat = Mk_compat
+module Fault = Mk_fault
 
 val version : string
 

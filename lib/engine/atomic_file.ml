@@ -1,0 +1,20 @@
+let tmp_path path = path ^ ".tmp"
+
+let write path contents =
+  let tmp = tmp_path path in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     flush oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,21 @@
+(** Crash-safe file replacement.
+
+    [write path contents] stages the bytes in a sibling temp file and
+    [Sys.rename]s it over [path].  On POSIX the rename is atomic: a
+    reader (or a run interrupted mid-write) observes either the old
+    complete file or the new complete file, never a truncated mix.
+    The bench results pipeline routes every snapshot through this so
+    [bench/results/latest.json] is always parseable. *)
+
+val tmp_path : string -> string
+(** The staging path used by {!write} ([path ^ ".tmp"]).  Exposed so
+    tests can simulate an interrupted writer. *)
+
+val write : string -> string -> unit
+(** [write path contents] atomically replaces [path].  On failure the
+    partially written temp file is removed and the original [path] is
+    left untouched.  Raises [Sys_error] on I/O failure. *)
+
+val read : string -> string
+(** Whole-file read (convenience for the parse gate and tests).
+    Raises [Sys_error] if the file cannot be read. *)

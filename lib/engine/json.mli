@@ -1,6 +1,7 @@
-(** Minimal JSON construction — enough to export experiment results
-    without external dependencies.  Output is deterministic (fields
-    in insertion order) and properly escaped. *)
+(** Minimal JSON construction and parsing — enough to export and
+    audit experiment results without external dependencies.  Output
+    is deterministic (fields in insertion order) and properly
+    escaped. *)
 
 type t =
   | Null
@@ -19,3 +20,10 @@ val to_string_pretty : t -> string
 
 val escape : string -> string
 (** JSON string escaping (without the surrounding quotes). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (standard JSON: objects, arrays, strings
+    with escapes, numbers, literals; numbers without [.]/[e] parse as
+    [Int], others as [Float]).  Rejects trailing garbage.  The error
+    string carries a byte offset.  Round trip: [of_string (to_string
+    t) = Ok t] for any [t] whose floats survive printing. *)

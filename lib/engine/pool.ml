@@ -3,6 +3,9 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
+  progress : Condition.t;
+  mutable poisoned : (exn * Printexc.raw_backtrace) option;
+  mutable live_workers : int;
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
 }
@@ -12,26 +15,44 @@ type t = {
    on the worker instead of deadlocking on its own pool. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* A raw submitted job that raises would silently kill its worker
+   domain; with every worker dead, a later parallel_map would block on
+   [progress] forever.  Instead the first escaping exception poisons
+   the pool: pending jobs are dropped, every waiter is woken, and the
+   original exception is re-raised from parallel_map/submit. *)
 let worker_loop pool () =
   Domain.DLS.set in_worker true;
-  let rec next () =
-    Mutex.lock pool.mutex;
-    let rec take () =
-      match Queue.take_opt pool.queue with
-      | Some job ->
-          Mutex.unlock pool.mutex;
-          job ();
-          next ()
-      | None ->
-          if pool.stopped then Mutex.unlock pool.mutex
-          else begin
-            Condition.wait pool.nonempty pool.mutex;
-            take ()
-          end
-    in
-    take ()
-  in
-  next ()
+  (try
+     let rec next () =
+       Mutex.lock pool.mutex;
+       let rec take () =
+         match Queue.take_opt pool.queue with
+         | Some job ->
+             Mutex.unlock pool.mutex;
+             job ();
+             next ()
+         | None ->
+             if pool.stopped then Mutex.unlock pool.mutex
+             else begin
+               Condition.wait pool.nonempty pool.mutex;
+               take ()
+             end
+       in
+       take ()
+     in
+     next ()
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock pool.mutex;
+     if pool.poisoned = None then pool.poisoned <- Some (e, bt);
+     pool.stopped <- true;
+     Queue.clear pool.queue;
+     Condition.broadcast pool.nonempty;
+     Mutex.unlock pool.mutex);
+  Mutex.lock pool.mutex;
+  pool.live_workers <- pool.live_workers - 1;
+  Condition.broadcast pool.progress;
+  Mutex.unlock pool.mutex
 
 let create ?num_domains () =
   let size =
@@ -46,6 +67,9 @@ let create ?num_domains () =
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
+      progress = Condition.create ();
+      poisoned = None;
+      live_workers = size;
       stopped = false;
       domains = [];
     }
@@ -62,17 +86,24 @@ let shutdown pool =
   pool.domains <- [];
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.mutex;
+  (* Crashed workers have already returned (the poison handler is the
+     last thing they run), so every join terminates. *)
   List.iter Domain.join domains
 
 let submit pool job =
   Mutex.lock pool.mutex;
-  if pool.stopped then begin
-    Mutex.unlock pool.mutex;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  Queue.add job pool.queue;
-  Condition.signal pool.nonempty;
-  Mutex.unlock pool.mutex
+  match pool.poisoned with
+  | Some (e, bt) ->
+      Mutex.unlock pool.mutex;
+      Printexc.raise_with_backtrace e bt
+  | None ->
+      if pool.stopped then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Pool.submit: pool is shut down"
+      end;
+      Queue.add job pool.queue;
+      Condition.signal pool.nonempty;
+      Mutex.unlock pool.mutex
 
 (* ------------------------------------------------------------------ *)
 (* Process-wide default, configured by the CLI's -j/--jobs flag.       *)
@@ -116,7 +147,6 @@ let parallel_map_on pool f xs =
   let n = Array.length inputs in
   let results = Array.make n None in
   let remaining = ref n in
-  let all_done = Condition.create () in
   for i = 0 to n - 1 do
     submit pool (fun () ->
         let r =
@@ -126,21 +156,31 @@ let parallel_map_on pool f xs =
         Mutex.lock pool.mutex;
         results.(i) <- Some r;
         decr remaining;
-        if !remaining = 0 then Condition.broadcast all_done;
+        if !remaining = 0 then Condition.broadcast pool.progress;
         Mutex.unlock pool.mutex)
   done;
   Mutex.lock pool.mutex;
-  while !remaining > 0 do
-    Condition.wait all_done pool.mutex
+  while !remaining > 0 && pool.poisoned = None && pool.live_workers > 0 do
+    Condition.wait pool.progress pool.mutex
   done;
+  let outcome =
+    if !remaining = 0 then `Done
+    else match pool.poisoned with Some p -> `Poisoned p | None -> `Abandoned
+  in
   Mutex.unlock pool.mutex;
-  Array.to_list
-    (Array.map
-       (function
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
-       results)
+  match outcome with
+  | `Poisoned (e, bt) -> Printexc.raise_with_backtrace e bt
+  | `Abandoned ->
+      (* Every worker exited (concurrent shutdown) with jobs pending. *)
+      invalid_arg "Pool.parallel_map: pool was shut down"
+  | `Done ->
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false)
+           results)
 
 let parallel_map ?pool f xs =
   if Domain.DLS.get in_worker then List.map f xs

@@ -31,14 +31,26 @@ val size : t -> int
 (** Number of worker domains. *)
 
 val shutdown : t -> unit
-(** Drain the queue, stop the workers and join them.  Idempotent.
+(** Drain the queue, stop the workers and join them.  Idempotent, and
+    safe on a poisoned pool (crashed workers have already returned).
     Submitting to a shut-down pool raises [Invalid_argument]. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a raw job.  The job should not raise: an exception
+    escaping a raw job {e poisons} the pool — the worker that ran it
+    stops, pending jobs are discarded, and the original exception is
+    re-raised by every subsequent [submit] or in-flight
+    [parallel_map] instead of deadlocking them.  ([parallel_map]'s
+    own jobs never poison: their exceptions are captured per-slot and
+    re-raised in input order.) *)
 
 val parallel_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map ?pool f xs] is [List.map f xs], evaluated across
     the pool's domains.  Results are returned in input order.  If any
     job raises, the first exception (in input order) is re-raised
-    with its backtrace after all jobs have finished.
+    with its backtrace after all jobs have finished.  If the pool is
+    poisoned while jobs are pending, the poisoning exception is
+    re-raised immediately (fail fast, no deadlock).
 
     Runs sequentially — exactly [List.map f xs] — when [pool] is
     absent and no default pool is configured, when the pool has a

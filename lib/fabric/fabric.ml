@@ -1,10 +1,31 @@
-type t = { nic : Nic.t; topology : Topology.t }
+type t = {
+  nic : Nic.t;
+  topology : Topology.t;
+  link_factors : float array;
+  mutable degraded : bool;
+}
 
 let make ?(nic = Nic.make ()) ~nodes () =
-  { nic; topology = Topology.make ~nodes () }
+  {
+    nic;
+    topology = Topology.make ~nodes () ;
+    link_factors = Array.make (max 1 nodes) 1.0;
+    degraded = false;
+  }
 
 let nic t = t.nic
 let topology t = t.topology
+
+let set_link_factor t ~node ~factor =
+  if factor < 1.0 then invalid_arg "Fabric.set_link_factor: factor must be >= 1";
+  if node >= 0 && node < Array.length t.link_factors then begin
+    t.link_factors.(node) <- factor;
+    t.degraded <- t.degraded || factor > 1.0
+  end
+
+let reset_link_factors t =
+  Array.fill t.link_factors 0 (Array.length t.link_factors) 1.0;
+  t.degraded <- false
 
 (* Omni-Path end-to-end MPI latency is ~1 us nearest-neighbour;
    each extra switch hop adds ~150 ns. *)
@@ -15,8 +36,23 @@ let wire_time t ~src ~dst ~bytes =
   if src = dst then 0
   else begin
     let hops = Topology.hops t.topology ~src ~dst in
-    base_latency + (hops * per_hop) + Nic.injection_overhead
-    + Mk_engine.Units.transfer_time ~bytes ~bw:Nic.wire_bandwidth
+    let w =
+      base_latency + (hops * per_hop) + Nic.injection_overhead
+      + Mk_engine.Units.transfer_time ~bytes ~bw:Nic.wire_bandwidth
+    in
+    (* The integer fast path is load-bearing: with no degraded link the
+       arithmetic must be bit-for-bit what it was before fault
+       injection existed. *)
+    if not t.degraded then w
+    else begin
+      let f src_or_dst =
+        if src_or_dst >= 0 && src_or_dst < Array.length t.link_factors then
+          t.link_factors.(src_or_dst)
+        else 1.0
+      in
+      let factor = Float.max (f src) (f dst) in
+      if factor = 1.0 then w else int_of_float (Float.round (float w *. factor))
+    end
   end
 
 let message t ~src ~dst ~bytes =

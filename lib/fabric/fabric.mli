@@ -26,3 +26,16 @@ val message :
 
 val base_latency : Mk_engine.Units.time
 val per_hop : Mk_engine.Units.time
+
+(** {1 Link degradation} (fault injection)
+
+    A degraded endpoint multiplies the wire time of every message it
+    sends or receives (the worse endpoint wins).  With no factor set
+    the cost arithmetic is exactly the healthy integer path — fault
+    support is provably zero-cost when off. *)
+
+val set_link_factor : t -> node:int -> factor:float -> unit
+(** [factor >= 1.0]; out-of-range nodes are ignored.  Raises
+    [Invalid_argument] when [factor < 1.0]. *)
+
+val reset_link_factors : t -> unit

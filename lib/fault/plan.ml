@@ -1,0 +1,216 @@
+open Mk_engine
+
+type kind =
+  | Node_crash
+  | Core_degrade of { factor : float }
+  | Link_degrade of { factor : float }
+  | Link_flap of { failures : int }
+  | Nic_stall of { extra : Units.time }
+  | Daemon_hang of { iterations : int }
+  | Proxy_crash
+  | Thread_loss
+
+type event = { iteration : int; node : int; kind : kind }
+type t = { label : string; events : event list }
+
+let empty = { label = "healthy"; events = [] }
+
+let compare_event a b =
+  match compare a.iteration b.iteration with
+  | 0 -> compare a.node b.node
+  | c -> c
+
+let make ~label events =
+  List.iter
+    (fun e ->
+      if e.iteration < 0 then invalid_arg "Plan.make: negative iteration";
+      if e.node < 0 then invalid_arg "Plan.make: negative node")
+    events;
+  { label; events = List.stable_sort compare_event events }
+
+let is_empty t = t.events = []
+
+let events_at t ~iteration =
+  List.filter (fun e -> e.iteration = iteration) t.events
+
+type spec = {
+  node_crash : float;
+  core_degrade : float;
+  link_degrade : float;
+  link_flap : float;
+  nic_stall : float;
+  daemon_hang : float;
+  proxy_crash : float;
+  thread_loss : float;
+}
+
+let zero_spec =
+  {
+    node_crash = 0.;
+    core_degrade = 0.;
+    link_degrade = 0.;
+    link_flap = 0.;
+    nic_stall = 0.;
+    daemon_hang = 0.;
+    proxy_crash = 0.;
+    thread_loss = 0.;
+  }
+
+let scale_spec s k =
+  {
+    node_crash = s.node_crash *. k;
+    core_degrade = s.core_degrade *. k;
+    link_degrade = s.link_degrade *. k;
+    link_flap = s.link_flap *. k;
+    nic_stall = s.nic_stall *. k;
+    daemon_hang = s.daemon_hang *. k;
+    proxy_crash = s.proxy_crash *. k;
+    thread_loss = s.thread_loss *. k;
+  }
+
+let preset_names =
+  [
+    "node-crash";
+    "core-degrade";
+    "link-degrade";
+    "link-flap";
+    "nic-stall";
+    "daemon-hang";
+    "proxy-crash";
+    "thread-loss";
+    "mixed";
+  ]
+
+let preset_spec name ~rate =
+  match name with
+  | "node-crash" -> Some { zero_spec with node_crash = rate }
+  | "core-degrade" -> Some { zero_spec with core_degrade = rate }
+  | "link-degrade" -> Some { zero_spec with link_degrade = rate }
+  | "link-flap" -> Some { zero_spec with link_flap = rate }
+  | "nic-stall" -> Some { zero_spec with nic_stall = rate }
+  | "daemon-hang" -> Some { zero_spec with daemon_hang = rate }
+  | "proxy-crash" -> Some { zero_spec with proxy_crash = rate }
+  | "thread-loss" -> Some { zero_spec with thread_loss = rate }
+  | "mixed" ->
+      Some
+        {
+          node_crash = 0.02 *. rate;
+          core_degrade = 0.10 *. rate;
+          link_degrade = 0.10 *. rate;
+          link_flap = 0.05 *. rate;
+          nic_stall = 0.10 *. rate;
+          daemon_hang = 0.40 *. rate;
+          proxy_crash = 0.20 *. rate;
+          thread_loss = 0.03 *. rate;
+        }
+  | _ -> None
+
+(* Fixed evaluation order: a kind's draw position in the node's
+   stream never depends on which other kinds fired. *)
+let generate ~spec ~nodes ~iterations ~seed =
+  if nodes <= 0 then invalid_arg "Plan.generate: nodes must be positive";
+  if iterations <= 0 then invalid_arg "Plan.generate: iterations must be positive";
+  let prob rate =
+    if iterations = 0 then 0. else Float.min 1. (Float.max 0. (rate /. float iterations))
+  in
+  let root = Rng.create ((seed * 2_862_933_555_777_941_757) + 1) in
+  let events = ref [] in
+  for node = 0 to nodes - 1 do
+    let rng = Rng.split root (node + 1) in
+    for iteration = 0 to iterations - 1 do
+      let draw rate mk =
+        let u = Rng.float rng 1.0 in
+        if u < prob rate then
+          events := { iteration; node; kind = mk rng } :: !events
+      in
+      draw spec.node_crash (fun _ -> Node_crash);
+      draw spec.core_degrade (fun r ->
+          Core_degrade { factor = 1.2 +. Rng.float r 0.6 });
+      draw spec.link_degrade (fun r ->
+          Link_degrade { factor = 1.5 +. Rng.float r 2.5 });
+      draw spec.link_flap (fun r -> Link_flap { failures = 1 + Rng.int r 3 });
+      draw spec.nic_stall (fun r ->
+          Nic_stall { extra = 5_000 + Rng.int r 45_000 });
+      draw spec.daemon_hang (fun r ->
+          Daemon_hang { iterations = 2 + Rng.int r 4 });
+      draw spec.proxy_crash (fun _ -> Proxy_crash);
+      draw spec.thread_loss (fun _ -> Thread_loss)
+    done
+  done;
+  make ~label:(Printf.sprintf "generated(seed=%d)" seed) !events
+
+let daemon_hang_demo ~nodes =
+  if nodes <= 0 then invalid_arg "Plan.daemon_hang_demo: nodes must be positive";
+  let node = min 1 (nodes - 1) in
+  make ~label:"daemon-hang-demo"
+    [ { iteration = 1; node; kind = Daemon_hang { iterations = 6 } } ]
+
+let proxy_crash_demo ~nodes =
+  if nodes <= 0 then invalid_arg "Plan.proxy_crash_demo: nodes must be positive";
+  let second = min 1 (nodes - 1) in
+  make ~label:"proxy-crash-demo"
+    [
+      { iteration = 1; node = 0; kind = Proxy_crash };
+      { iteration = 4; node = second; kind = Proxy_crash };
+      { iteration = 7; node = 0; kind = Proxy_crash };
+    ]
+
+let pp_kind ppf = function
+  | Node_crash -> Format.fprintf ppf "node-crash"
+  | Core_degrade { factor } -> Format.fprintf ppf "core-degrade(x%.2f)" factor
+  | Link_degrade { factor } -> Format.fprintf ppf "link-degrade(x%.2f)" factor
+  | Link_flap { failures } -> Format.fprintf ppf "link-flap(%d)" failures
+  | Nic_stall { extra } ->
+      Format.fprintf ppf "nic-stall(+%.1fus)" (float extra /. 1e3)
+  | Daemon_hang { iterations } ->
+      Format.fprintf ppf "daemon-hang(%d iters)" iterations
+  | Proxy_crash -> Format.fprintf ppf "proxy-crash"
+  | Thread_loss -> Format.fprintf ppf "thread-loss"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan %s (%d events)" t.label (List.length t.events);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  iter %2d node %3d  %a" e.iteration e.node pp_kind
+        e.kind)
+    t.events;
+  Format.fprintf ppf "@]"
+
+let kind_to_json = function
+  | Node_crash -> Json.Obj [ ("kind", Json.String "node-crash") ]
+  | Core_degrade { factor } ->
+      Json.Obj
+        [ ("kind", Json.String "core-degrade"); ("factor", Json.Float factor) ]
+  | Link_degrade { factor } ->
+      Json.Obj
+        [ ("kind", Json.String "link-degrade"); ("factor", Json.Float factor) ]
+  | Link_flap { failures } ->
+      Json.Obj
+        [ ("kind", Json.String "link-flap"); ("failures", Json.Int failures) ]
+  | Nic_stall { extra } ->
+      Json.Obj [ ("kind", Json.String "nic-stall"); ("extra_ns", Json.Int extra) ]
+  | Daemon_hang { iterations } ->
+      Json.Obj
+        [
+          ("kind", Json.String "daemon-hang"); ("iterations", Json.Int iterations);
+        ]
+  | Proxy_crash -> Json.Obj [ ("kind", Json.String "proxy-crash") ]
+  | Thread_loss -> Json.Obj [ ("kind", Json.String "thread-loss") ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("label", Json.String t.label);
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               match kind_to_json e.kind with
+               | Json.Obj fields ->
+                   Json.Obj
+                     (("iteration", Json.Int e.iteration)
+                     :: ("node", Json.Int e.node)
+                     :: fields)
+               | j -> j)
+             t.events) );
+    ]

@@ -1,0 +1,107 @@
+(** Deterministic fault plans.
+
+    A plan is an explicit timeline of fault events — which node is hit
+    by which fault at which simulated iteration.  Plans are either
+    written down literally (the demo plans below) or generated from a
+    rate {!spec} through the shared split PRNG, so the same
+    [(spec, nodes, iterations, seed)] tuple always yields the same
+    timeline: fault injection inherits the simulator's determinism
+    contract instead of weakening it.
+
+    The plan only *schedules* faults; what each fault means on a given
+    kernel (containment semantics) is decided by the cluster driver —
+    see docs/FAULTS.md for the containment matrix. *)
+
+(** One fault kind.  Durations are in simulated iterations, times in
+    nanoseconds ({!Mk_engine.Units.time}). *)
+type kind =
+  | Node_crash  (** whole node dies; collectives must route around it *)
+  | Core_degrade of { factor : float }
+      (** frequency throttle: compute slowed by [factor] (> 1.0), permanent *)
+  | Link_degrade of { factor : float }
+      (** fabric link runs at reduced bandwidth: wire time x [factor], permanent *)
+  | Link_flap of { failures : int }
+      (** link drops [failures] consecutive sends this iteration; each
+          failed attempt is retried under the MPI policy *)
+  | Nic_stall of { extra : Mk_engine.Units.time }
+      (** NIC control path wedged: every control-path message on the
+          node pays [extra] this iteration *)
+  | Daemon_hang of { iterations : int }
+      (** Linux-side daemons hang for [iterations] iterations: on
+          Linux they spill onto app cores; on an LWK they only slow
+          the offload service path *)
+  | Proxy_crash
+      (** McKernel proxy process dies this iteration; in-flight IKC
+          requests time out, the proxy is respawned *)
+  | Thread_loss
+      (** mOS offload-target Linux core lost, permanent; migrated
+          threads fail over to the next NUMA-matched core *)
+
+type event = { iteration : int; node : int; kind : kind }
+
+type t = { label : string; events : event list }
+(** Events are kept sorted by [(iteration, node)]. *)
+
+val empty : t
+(** No faults.  Running with [empty] must be indistinguishable from
+    running without fault injection at all. *)
+
+val make : label:string -> event list -> t
+(** Sorts the events; raises [Invalid_argument] on a negative
+    iteration or node. *)
+
+val is_empty : t -> bool
+
+val events_at : t -> iteration:int -> event list
+
+(** {1 Generated plans} *)
+
+(** Expected number of events of each kind, per node, over the whole
+    run.  The per-iteration injection probability for a kind is
+    [rate /. iterations], clamped to [0, 1]. *)
+type spec = {
+  node_crash : float;
+  core_degrade : float;
+  link_degrade : float;
+  link_flap : float;
+  nic_stall : float;
+  daemon_hang : float;
+  proxy_crash : float;
+  thread_loss : float;
+}
+
+val zero_spec : spec
+
+val scale_spec : spec -> float -> spec
+(** Multiply every rate; used for escalating-rate sweeps. *)
+
+val preset_names : string list
+(** Valid arguments to {!preset_spec}: one per fault kind plus
+    ["mixed"], a blend weighted towards the faults the paper's
+    isolation story is about (daemon hangs, proxy crashes). *)
+
+val preset_spec : string -> rate:float -> spec option
+(** [preset_spec name ~rate] is the spec whose only (or, for
+    ["mixed"], total) expected event count per node is [rate];
+    [None] for an unknown name. *)
+
+val generate :
+  spec:spec -> nodes:int -> iterations:int -> seed:int -> t
+(** Deterministic: each node draws from its own {!Mk_engine.Rng.split}
+    child stream, so the timeline is a pure function of the arguments
+    and is independent of evaluation order. *)
+
+(** {1 Fixed demo plans} (acceptance demos, see docs/FAULTS.md) *)
+
+val daemon_hang_demo : nodes:int -> t
+(** One Linux-side daemon hang covering most of the measured
+    iterations on one node. *)
+
+val proxy_crash_demo : nodes:int -> t
+(** Three proxy crashes spread over the run on two nodes. *)
+
+(** {1 Rendering} *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Mk_engine.Json.t

@@ -1,0 +1,40 @@
+type policy = {
+  timeout : Mk_engine.Units.time;
+  max_retries : int;
+  backoff : Mk_engine.Units.time;
+  backoff_cap : Mk_engine.Units.time;
+}
+
+(* A healthy proxy round trip is ~5 us; declare an attempt dead at
+   20 us and give up after ~150 us total. *)
+let default_ikc =
+  { timeout = 20_000; max_retries = 3; backoff = 10_000; backoff_cap = 200_000 }
+
+(* A healthy internode message lands within tens of microseconds;
+   give a peer ~3.4 ms before routing around it. *)
+let default_mpi =
+  {
+    timeout = 500_000;
+    max_retries = 3;
+    backoff = 200_000;
+    backoff_cap = 2_000_000;
+  }
+
+let backoff_delay p ~retry =
+  if retry < 1 then invalid_arg "Retry.backoff_delay: retry must be >= 1";
+  (* Shift saturates long before the cap matters. *)
+  let exp = min (retry - 1) 30 in
+  min p.backoff_cap (p.backoff * (1 lsl exp))
+
+let retry_time p ~failures =
+  if failures <= 0 then 0
+  else begin
+    let failures = min failures (p.max_retries + 1) in
+    let t = ref (failures * p.timeout) in
+    for retry = 1 to failures - 1 do
+      t := !t + backoff_delay p ~retry
+    done;
+    !t
+  end
+
+let give_up_time p = retry_time p ~failures:(p.max_retries + 1)

@@ -1,0 +1,46 @@
+(** Timeout and retry-with-backoff policies.
+
+    Every resilient path in the simulator — IKC offload requests
+    surviving a proxy crash, MPI point-to-point sends over a flapping
+    link, collectives discovering a dead peer — prices its recovery
+    through one of these policies: each failed attempt costs one
+    [timeout], each retry is preceded by an exponentially growing
+    (capped) backoff, and after [max_retries] retries the caller
+    gives up and escalates (marks the peer dead, respawns the proxy,
+    surfaces a degraded node).
+
+    Policies are plain data so fault experiments can sweep them; the
+    defaults are calibrated against the healthy-path latencies they
+    guard (an IKC round trip is microseconds, so its timeout is tens
+    of microseconds; an MPI message is tens of microseconds, so its
+    timeout is hundreds). *)
+
+type policy = {
+  timeout : Mk_engine.Units.time;
+      (** how long one attempt waits before being declared failed *)
+  max_retries : int;  (** retries after the first attempt *)
+  backoff : Mk_engine.Units.time;  (** delay before the first retry *)
+  backoff_cap : Mk_engine.Units.time;
+      (** ceiling on the exponential backoff growth *)
+}
+
+val default_ikc : policy
+(** Guards one IKC offload request (healthy round trip: ~5 us). *)
+
+val default_mpi : policy
+(** Guards one internode MPI message (healthy wire: ~1-30 us). *)
+
+val backoff_delay : policy -> retry:int -> Mk_engine.Units.time
+(** Delay before the [retry]-th retry (1-based):
+    [backoff * 2^(retry-1)], capped at [backoff_cap].  Raises
+    [Invalid_argument] when [retry < 1]. *)
+
+val retry_time : policy -> failures:int -> Mk_engine.Units.time
+(** Time lost to [failures] consecutive failed attempts: one timeout
+    per attempt plus the backoff before each retry.  Clamped at
+    {!give_up_time} — after the policy is exhausted no further time
+    accrues, the failure escalates instead. *)
+
+val give_up_time : policy -> Mk_engine.Units.time
+(** Total time after which a caller abandons the peer:
+    [max_retries + 1] timeouts plus every backoff delay. *)

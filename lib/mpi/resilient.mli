@@ -1,0 +1,52 @@
+(** Fault-aware variants of {!Collective} and {!P2p}.
+
+    Same max-plus clock semantics, three additions:
+
+    - {b routing around crashes}: the binomial reduce/broadcast tree
+      is rebuilt over the surviving nodes (the index array is
+      compacted, the tree shape follows), and a halo exchange simply
+      stops waiting for dead neighbours — the slowdown of a thinner
+      tree {e emerges} from the composition, nothing is hard-coded;
+    - {b detection cost}: when the driver reports fresh crashes via
+      {!notify_crashes}, every survivor is charged one full
+      retry-until-give-up round ({!Mk_fault.Retry.give_up_time}) at
+      the next synchronisation — the point where the collective times
+      out on the dead peer and rebuilds;
+    - {b per-edge surcharges}: the [extra_edge] callback prices
+      transient link faults (flapping sends retried under the MPI
+      policy) without this module knowing why.
+
+    With every node alive, no pending detection and a zero
+    [extra_edge], each operation is {e bit-identical} to its healthy
+    counterpart — the fault layer costs nothing when off. *)
+
+type env
+
+val make :
+  base:Collective.cost_env ->
+  alive:bool array ->
+  extra_edge:(src:int -> dst:int -> Mk_engine.Units.time) ->
+  env
+(** [alive] is shared with the caller (the driver's fault state
+    mutates it as the plan unfolds). *)
+
+val notify_crashes :
+  env -> policy:Mk_fault.Retry.policy -> count:int -> unit
+(** Queue the detection cost for [count] fresh crashes; charged to
+    every survivor by the next collective or halo. *)
+
+val pending_detection : env -> Mk_engine.Units.time
+
+val allreduce :
+  env -> clocks:Mk_engine.Units.time array -> bytes:int -> unit
+(** Dead nodes' clocks are left frozen; survivors pay the compacted
+    tree. *)
+
+val halo :
+  env ->
+  clocks:Mk_engine.Units.time array ->
+  bytes:int ->
+  neighbors:int ->
+  unit
+(** Ring geometry is unchanged (ranks keep their coordinates); dead
+    neighbours are simply no longer waited for. *)

@@ -319,6 +319,57 @@ let test_report_renders () =
     (String.length (Report.relative_chart ~app:a ~baseline series) > 50);
   check_bool "csv renders" true (String.length (Report.csv ~app:a series) > 50)
 
+(* ------------------------------------------------------------------ *)
+(* CLI argument validation (one-line errors, valid choices listed)     *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let err = function
+  | Error m ->
+      check_bool "single line" false (String.contains m '\n');
+      m
+  | Ok _ -> Alcotest.fail "expected a validation error"
+
+let test_validate_app () =
+  (match Validate.app "HPCG" with
+  | Ok a -> Alcotest.(check string) "found" "HPCG" a.Mk_apps.App.name
+  | Error m -> Alcotest.fail m);
+  let m = err (Validate.app "doom") in
+  check_bool "names the input" true (contains m "doom");
+  check_bool "lists choices" true (contains m "MiniFE")
+
+let test_validate_scenario () =
+  check_bool "mckernel ok" true (Result.is_ok (Validate.scenario "mckernel"));
+  let m = err (Validate.scenario "hurd") in
+  check_bool "lists kernels" true
+    (contains m "McKernel" && contains m "mOS" && contains m "Linux")
+
+let test_validate_ranges () =
+  check_bool "nodes ok" true (Validate.nodes 1024 = Ok 1024);
+  check_bool "nodes zero" true (contains (err (Validate.nodes 0)) "node count");
+  check_bool "nodes huge" true
+    (Result.is_error (Validate.nodes (Validate.max_nodes + 1)));
+  check_bool "jobs 0 means all cores" true (Validate.jobs 0 = Ok 0);
+  check_bool "jobs negative" true (Result.is_error (Validate.jobs (-1)));
+  check_bool "jobs huge" true
+    (Result.is_error (Validate.jobs (Validate.max_jobs + 1)));
+  check_bool "runs ok" true (Validate.runs 5 = Ok 5);
+  check_bool "runs zero" true (Result.is_error (Validate.runs 0));
+  check_bool "node_counts empty" true (Result.is_error (Validate.node_counts []));
+  check_bool "node_counts bad member" true
+    (Result.is_error (Validate.node_counts [ 4; 0 ]))
+
+let test_validate_fault_args () =
+  check_bool "preset ok" true (Validate.fault_preset "Mixed " = Ok "mixed");
+  check_bool "preset bad" true
+    (contains (err (Validate.fault_preset "gamma-ray")) "mixed");
+  check_bool "rates ok" true (Validate.rates "0.5, 1,2" = Ok [ 0.5; 1.0; 2.0 ]);
+  check_bool "rates junk" true (Result.is_error (Validate.rates "0.5,x"));
+  check_bool "rates negative" true (Result.is_error (Validate.rates "-1"))
+
 let () =
   Alcotest.run "mk_cluster"
     [
@@ -358,5 +409,12 @@ let () =
           Alcotest.test_case "quadrant rescues linux" `Slow
             test_quadrant_mode_rescues_linux;
           Alcotest.test_case "isolation property" `Slow test_isolation_property;
+        ] );
+      ( "cli-validation",
+        [
+          Alcotest.test_case "app" `Quick test_validate_app;
+          Alcotest.test_case "scenario" `Quick test_validate_scenario;
+          Alcotest.test_case "ranges" `Quick test_validate_ranges;
+          Alcotest.test_case "fault args" `Quick test_validate_fault_args;
         ] );
     ]

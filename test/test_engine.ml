@@ -320,6 +320,106 @@ let test_json_empty_containers () =
   Alcotest.(check string) "empty list" "[]" (Json.to_string (Json.List []));
   Alcotest.(check string) "empty obj" "{}" (Json.to_string (Json.Obj []))
 
+let json_testable =
+  Alcotest.testable
+    (fun fmt j -> Format.pp_print_string fmt (Json.to_string j))
+    ( = )
+
+let check_parse msg expected input =
+  match Json.of_string input with
+  | Ok v -> Alcotest.check json_testable msg expected v
+  | Error e -> Alcotest.failf "%s: parse error: %s" msg e
+
+let test_json_parse_scalars () =
+  check_parse "null" Json.Null "null";
+  check_parse "true" (Json.Bool true) " true ";
+  check_parse "int" (Json.Int (-42)) "-42";
+  check_parse "float" (Json.Float 1.5) "1.5";
+  check_parse "exponent" (Json.Float 2e3) "2e3";
+  check_parse "string" (Json.String "hi") "\"hi\""
+
+let test_json_parse_escapes () =
+  check_parse "escapes" (Json.String "a\"b\nc\\") "\"a\\\"b\\nc\\\\\"";
+  check_parse "unicode ascii" (Json.String "A") "\"\\u0041\"";
+  check_parse "unicode 2-byte" (Json.String "\xc3\xa9") "\"\\u00e9\"";
+  check_parse "unicode 3-byte" (Json.String "\xe2\x82\xac") "\"\\u20ac\""
+
+let test_json_parse_structures () =
+  check_parse "nested"
+    (Json.Obj
+       [
+         ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+         ("ok", Json.Bool false);
+         ("o", Json.Obj []);
+       ])
+    "{\"xs\":[1,2.5,null],\"ok\":false,\"o\":{}}"
+
+let test_json_parse_errors () =
+  let rejects msg s =
+    check_bool msg true (Result.is_error (Json.of_string s))
+  in
+  rejects "empty" "";
+  rejects "trailing garbage" "1 x";
+  rejects "bare word" "nul";
+  rejects "unclosed list" "[1,2";
+  rejects "unclosed string" "\"abc";
+  rejects "missing colon" "{\"a\" 1}";
+  rejects "trailing comma" "[1,]";
+  (* the error carries a byte offset for debugging torn files *)
+  match Json.of_string "[1,]" with
+  | Error e -> check_bool "offset present" true (contains_substring e "3")
+  | Ok _ -> Alcotest.fail "accepted trailing comma"
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "x/1");
+        ("rows", Json.List [ Json.Int 1; Json.Float 0.25; Json.Bool true ]);
+        ("note", Json.String "a\"b\n\xe2\x82\xac");
+        ("nothing", Json.Null);
+      ]
+  in
+  check_parse "compact" doc (Json.to_string doc);
+  check_parse "pretty" doc (Json.to_string_pretty doc)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic_file *)
+
+let in_temp name f =
+  let path = Filename.temp_file "mk_atomic" name in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      let tmp = Atomic_file.tmp_path path in
+      if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () -> f path)
+
+let test_atomic_roundtrip () =
+  in_temp "rt" (fun path ->
+      Atomic_file.write path "first";
+      Alcotest.(check string) "write/read" "first" (Atomic_file.read path);
+      Atomic_file.write path "second, longer contents\n";
+      Alcotest.(check string)
+        "overwrite" "second, longer contents\n" (Atomic_file.read path);
+      check_bool "no staging residue" false
+        (Sys.file_exists (Atomic_file.tmp_path path)))
+
+let test_atomic_partial_write_invisible () =
+  (* A writer killed mid-write leaves a torn .tmp behind; the real
+     path must still hold the previous complete, parseable snapshot. *)
+  in_temp "torn" (fun path ->
+      Atomic_file.write path "{\"ok\":true}";
+      let oc = open_out_bin (Atomic_file.tmp_path path) in
+      output_string oc "{\"ok\":fal";
+      (* killed here: no rename *)
+      close_out oc;
+      Alcotest.(check string)
+        "reader sees old snapshot" "{\"ok\":true}" (Atomic_file.read path);
+      check_bool "and it still parses" true
+        (Json.of_string (Atomic_file.read path)
+        = Ok (Json.Obj [ ("ok", Json.Bool true) ])))
+
 (* ------------------------------------------------------------------ *)
 (* Pool *)
 
@@ -405,6 +505,52 @@ let test_pool_default_jobs () =
     (Pool.parallel_map (fun i -> i * 3) (List.init 50 Fun.id));
   Pool.set_default_jobs 1;
   check_int "back to sequential" 1 (Pool.default_jobs ())
+
+(* A raw submitted job that raises must not silently kill its worker
+   and deadlock the next parallel_map: the pool poisons, waiters wake,
+   and the original exception resurfaces.  [submit] probes until the
+   poison has landed so the assertions that follow are race-free. *)
+let wait_poisoned pool =
+  let rec go () =
+    match Pool.submit pool ignore with
+    | () ->
+        Domain.cpu_relax ();
+        go ()
+    | exception e -> e
+  in
+  go ()
+
+let test_pool_poison_fail_fast () =
+  let pool = Pool.create ~num_domains:2 () in
+  Pool.submit pool (fun () -> failwith "raw boom");
+  check_bool "poison observed" true (wait_poisoned pool = Failure "raw boom");
+  Alcotest.check_raises "parallel_map re-raises the poison"
+    (Failure "raw boom") (fun () ->
+      ignore (Pool.parallel_map ~pool succ (List.init 10 Fun.id)));
+  Alcotest.check_raises "submit re-raises the poison" (Failure "raw boom")
+    (fun () -> Pool.submit pool ignore);
+  (* Shutdown after poisoning stays clean: the workers already exited. *)
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let test_pool_poison_first_exception_wins () =
+  let pool = Pool.create ~num_domains:2 () in
+  Pool.submit pool (fun () -> failwith "first");
+  check_bool "poison observed" true (wait_poisoned pool = Failure "first");
+  Alcotest.check_raises "later failures cannot displace it" (Failure "first")
+    (fun () -> Pool.submit pool (fun () -> failwith "second"));
+  Alcotest.check_raises "parallel_map reports the original" (Failure "first")
+    (fun () -> ignore (Pool.parallel_map ~pool succ [ 1; 2; 3 ]));
+  Pool.shutdown pool
+
+let test_pool_shutdown_with_pending_jobs () =
+  (* Exception-free variant of a mid-flight shutdown: jobs that never
+     ran must surface as a clean error, not a hang. *)
+  let pool = Pool.create ~num_domains:2 () in
+  Pool.shutdown pool;
+  Alcotest.check_raises "abandoned batch"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.parallel_map ~pool succ [ 1; 2; 3 ]))
 
 (* ------------------------------------------------------------------ *)
 (* More distributions *)
@@ -519,6 +665,17 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "structures" `Quick test_json_structures;
           Alcotest.test_case "empty containers" `Quick test_json_empty_containers;
+          Alcotest.test_case "parse scalars" `Quick test_json_parse_scalars;
+          Alcotest.test_case "parse escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "parse structures" `Quick test_json_parse_structures;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        ] );
+      ( "atomic-file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_atomic_roundtrip;
+          Alcotest.test_case "partial write invisible" `Quick
+            test_atomic_partial_write_invisible;
         ] );
       ( "distributions",
         [
@@ -541,6 +698,11 @@ let () =
           Alcotest.test_case "nested map" `Quick test_pool_nested_map;
           Alcotest.test_case "shutdown rejects" `Quick test_pool_shutdown_rejects;
           Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+          Alcotest.test_case "poison fail-fast" `Quick test_pool_poison_fail_fast;
+          Alcotest.test_case "poison keeps first exception" `Quick
+            test_pool_poison_first_exception_wins;
+          Alcotest.test_case "shutdown with pending jobs" `Quick
+            test_pool_shutdown_with_pending_jobs;
         ] );
       ( "table",
         [
