@@ -20,6 +20,12 @@ dune exec test/test_engine.exe -- test atomic-file >/dev/null
 # Any results snapshot on disk must still be valid JSON.
 dune exec bench/main.exe -- check-results
 
+# Hot-path gate: a tiny perf suite (DES events/sec, page-table
+# pages/sec, suite seq vs -j 2).  Fails when -j 2 stops beating
+# sequential — the regression this PR exists to prevent — and
+# round-trips its JSON through the parser.
+dune exec bench/main.exe -- perf --smoke
+
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc
 else

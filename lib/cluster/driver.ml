@@ -34,12 +34,12 @@ let setup_memory node (app : Mk_apps.App.t) ~nodes =
      mOS has already divided it into equal per-rank shares at job
      launch (its strategy carries that quota).  Section IV credits
      McKernel's CCS-QCD edge to exactly this difference. *)
-  let footprints =
-    Array.init ranks (fun r -> app.Mk_apps.App.footprint_per_rank ~nodes ~local_rank:r)
-  in
-  let demands =
-    Array.map (fun f -> f + app.Mk_apps.App.heap_per_rank) footprints
-  in
+  let footprints = Scratch.int_array ~tag:"driver.footprints" ~len:ranks ~init:0 in
+  let demands = Scratch.int_array ~tag:"driver.demands" ~len:ranks ~init:0 in
+  for r = 0 to ranks - 1 do
+    footprints.(r) <- app.Mk_apps.App.footprint_per_rank ~nodes ~local_rank:r;
+    demands.(r) <- footprints.(r) + app.Mk_apps.App.heap_per_rank
+  done;
   let total_footprint = Array.fold_left ( + ) 0 demands in
   let mcdram_free =
     Mk_mem.Phys.free_bytes_of_kind os.Mk_kernel.Os.phys Mk_hw.Memory_kind.Mcdram
@@ -389,9 +389,11 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
   in
 
   (* --- Iterations --------------------------------------------------- *)
-  let clocks = Array.make nodes setup_time in
+  let clocks = Scratch.int_array ~tag:"driver.clocks" ~len:nodes ~init:setup_time in
   let sim_iters = max 2 (min app.Mk_apps.App.sim_iterations app.Mk_apps.App.iterations) in
-  let iter_durations = Array.make sim_iters 0 in
+  let iter_durations =
+    Scratch.int_array ~tag:"driver.iter_durations" ~len:sim_iters ~init:0
+  in
   let prev_sync = ref (Units.us) in
   for iter = 0 to sim_iters - 1 do
     let start = max_alive clocks in

@@ -86,8 +86,10 @@ let best_improvement ratio_lists =
     neg_infinity
     (List.concat ratio_lists)
 
-let suite ?pool ?(apps = Mk_apps.Registry.all) ?runs ?seed () =
+let suite ?pool ?(apps = Mk_apps.Registry.all) ?node_counts ?runs ?seed () =
   List.map
     (fun app ->
-      (app, compare_scenarios ?pool ~scenarios:Scenario.trio ~app ?runs ?seed ()))
+      ( app,
+        compare_scenarios ?pool ~scenarios:Scenario.trio ~app ?node_counts
+          ?runs ?seed () ))
     apps

@@ -80,11 +80,13 @@ val best_improvement : (int * float) list list -> float
 val suite :
   ?pool:Mk_engine.Pool.t ->
   ?apps:Mk_apps.App.t list ->
+  ?node_counts:int list ->
   ?runs:int ->
   ?seed:int ->
   unit ->
   (Mk_apps.App.t * series list) list
 (** The paper's full evaluation: every registered application (or
-    [apps]) against {!Scenario.trio} at its own node counts.  The
-    input to the {!Report} suite views and the [simos suite]
-    command. *)
+    [apps]) against {!Scenario.trio} at its own node counts (or
+    [node_counts] for all of them — the bench perf smoke gate uses
+    this to shrink the suite to a few cells).  The input to the
+    {!Report} suite views and the [simos suite] command. *)

@@ -1,28 +1,38 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Cells are either live entries or the [Nil] sentinel.  Vacated
+   slots are always overwritten with [Nil] so the heap never retains
+   a reference to a popped value (and never holds an uninitialized
+   slot that could be scanned as a bogus pointer — the original
+   implementation filled fresh arrays with [Obj.magic 0]). *)
+type 'a cell = Nil | Entry of { key : int; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a cell array;
   mutable size : int;
   mutable next_seq : int;
 }
 
 let create ?(capacity = 64) () =
-  { data = Array.make (max 1 capacity) (Obj.magic 0); size = 0; next_seq = 0 }
+  { data = Array.make (max 1 capacity) Nil; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-(* Ordering: key first, then insertion sequence for determinism. *)
-let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* Ordering: key first, then insertion sequence for determinism.
+   [Nil] never participates: live slots ([i < size]) are always
+   [Entry]. *)
+let before a b =
+  match (a, b) with
+  | Entry a, Entry b -> a.key < b.key || (a.key = b.key && a.seq < b.seq)
+  | (Nil | Entry _), _ -> false
 
 let grow t =
-  let data = Array.make (2 * Array.length t.data) t.data.(0) in
+  let data = Array.make (2 * Array.length t.data) Nil in
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
 
 let push t ~key value =
   if t.size = Array.length t.data then grow t;
-  let e = { key; seq = t.next_seq; value } in
+  let e = Entry { key; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
   let i = ref t.size in
   t.size <- t.size + 1;
@@ -40,7 +50,12 @@ let push t ~key value =
     else continue := false
   done
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+let peek t =
+  if t.size = 0 then None
+  else
+    match t.data.(0) with
+    | Entry e -> Some (e.key, e.value)
+    | Nil -> assert false
 
 let sift_down t =
   let i = ref 0 in
@@ -59,17 +74,35 @@ let sift_down t =
     else continue := false
   done
 
+(* Remove the root (which the caller has already read), dropping all
+   references from vacated slots. *)
+let remove_root t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- Nil;
+    sift_down t
+  end
+  else t.data.(0) <- Nil
+
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t
-    end;
-    Some (top.key, top.value)
-  end
+  else
+    match t.data.(0) with
+    | Entry e ->
+        remove_root t;
+        Some (e.key, e.value)
+    | Nil -> assert false
+
+let pop_le t ~limit =
+  if t.size = 0 then None
+  else
+    match t.data.(0) with
+    | Entry e when e.key <= limit ->
+        remove_root t;
+        Some (e.key, e.value)
+    | Entry _ -> None
+    | Nil -> assert false
 
 let pop_exn t =
   match pop t with
@@ -77,6 +110,7 @@ let pop_exn t =
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
 let clear t =
+  Array.fill t.data 0 t.size Nil;
   t.size <- 0;
   t.next_seq <- 0
 

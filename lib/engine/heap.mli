@@ -17,12 +17,21 @@ val peek : 'a t -> (int * 'a) option
 (** Smallest (key, value), without removing it. *)
 
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the smallest (key, value). *)
+(** Remove and return the smallest (key, value).  The vacated slot is
+    overwritten, so the heap retains no reference to popped values. *)
+
+val pop_le : 'a t -> limit:int -> (int * 'a) option
+(** [pop_le t ~limit] pops the smallest (key, value) only when
+    [key <= limit]; otherwise (or when empty) [None] and the heap is
+    unchanged.  One root access — the caller needs no separate
+    {!peek}. *)
 
 val pop_exn : 'a t -> int * 'a
 (** @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Empty the heap, overwriting every occupied slot so no value
+    reference is retained. *)
 
 val to_sorted_list : 'a t -> (int * 'a) list
 (** Non-destructive: all elements in ascending key order. *)

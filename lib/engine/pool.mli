@@ -21,14 +21,24 @@
 type t
 (** A pool of worker domains fed from one locked work queue. *)
 
-val create : ?num_domains:int -> unit -> t
-(** [create ?num_domains ()] spawns [num_domains] worker domains
-    (default [max 1 (Domain.recommended_domain_count () - 1)], leaving
-    one core to the submitting domain).  Raises [Invalid_argument] if
-    [num_domains < 1]. *)
+val create : ?oversubscribe:bool -> ?num_domains:int -> unit -> t
+(** [create ?num_domains ()] spawns up to [num_domains] worker domains
+    (default [max 1 (Domain.recommended_domain_count () - 1)]).
+    Raises [Invalid_argument] if [num_domains < 1].
+
+    [num_domains] is a cap, not a demand.  The submitting domain helps
+    execute jobs during {!parallel_map}, so the pool clamps its worker
+    count to [recommended_domain_count - 1]: a domain without a core
+    of its own adds no throughput, only stop-the-world GC rendezvous
+    and scheduler ping-pong — the reason [-j] used to lose to
+    sequential on small machines.  On a single-core machine the clamp
+    yields zero workers and [parallel_map] runs every chunk on the
+    (GC-tuned) submitting domain.  [oversubscribe:true] spawns the
+    requested count regardless; tests use it to get real cross-domain
+    traffic on any machine. *)
 
 val size : t -> int
-(** Number of worker domains. *)
+(** Number of worker domains (after clamping). *)
 
 val shutdown : t -> unit
 (** Drain the queue, stop the workers and join them.  Idempotent, and
@@ -52,10 +62,15 @@ val parallel_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
     poisoned while jobs are pending, the poisoning exception is
     re-raised immediately (fail fast, no deadlock).
 
+    The submitting domain is an executor too: rather than sleeping on
+    the pool it pulls job chunks off the same queue, with the worker
+    GC tuning applied for the duration (and restored after).  A map
+    over a pool of [w] workers therefore uses [w + 1] executing
+    domains.
+
     Runs sequentially — exactly [List.map f xs] — when [pool] is
-    absent and no default pool is configured, when the pool has a
-    single worker, when [xs] has fewer than two elements, or when
-    called from inside a pool worker. *)
+    absent and no default pool is configured, when [xs] has fewer
+    than two elements, or when called from inside a pool worker. *)
 
 (** {1 Process-wide default}
 
@@ -65,10 +80,35 @@ val parallel_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 
 val set_default_jobs : int -> unit
 (** [set_default_jobs n] makes [parallel_map] calls without an
-    explicit [?pool] use a shared pool of [n] workers.  [n <= 1]
-    means sequential (the initial state); [0] means
-    [Domain.recommended_domain_count ()].  Replacing the setting
-    shuts the previous default pool down. *)
+    explicit [?pool] use a shared pool sized for [n] executors — the
+    submitting domain plus up to [n - 1] workers (clamped as in
+    {!create}).  [n <= 1] means sequential (the initial state); [0]
+    means [Domain.recommended_domain_count ()].  Replacing the
+    setting shuts the previous default pool down. *)
 
 val default_jobs : unit -> int
 (** The currently configured default ([1] initially). *)
+
+(** {1 Worker GC tuning}
+
+    OCaml 5 minor collections stop the world across {e every} domain,
+    so when domains outnumber cores each minor GC is a rendezvous on
+    an oversubscribed scheduler — the dominant cost of small-heap
+    parallel runs.  Worker domains therefore enlarge their private
+    minor heap at spawn ([Gc.set] inside a domain only affects that
+    domain), dividing the rendezvous count; the submitting domain and
+    sequential runs keep the default GC so baselines are unaffected.
+    This replaces fiddling with [OCAMLRUNPARAM], which would tune the
+    sequential baseline too. *)
+
+type gc_tuning = {
+  minor_heap_words : int;  (** per-worker minor heap, in words *)
+  space_overhead : int;  (** major-GC slack, as [Gc.control] *)
+}
+
+val default_gc_tuning : gc_tuning
+
+val set_worker_gc_tuning : gc_tuning option -> unit
+(** Tuning applied by each worker domain as it starts; [None] leaves
+    workers on the runtime defaults.  Takes effect for pools created
+    after the call. *)

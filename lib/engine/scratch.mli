@@ -1,0 +1,18 @@
+(** Domain-local scratch arrays for per-run working state.
+
+    A sweep runs thousands of independent simulations; each used to
+    allocate its working arrays afresh, and under a domain pool that
+    garbage is what drives OCaml 5's stop-the-world minor
+    collections.  [int_array] hands back the {e same} array on every
+    call with the same [tag] from the same domain, refilled with
+    [init].
+
+    Rules (enforced by convention, audited in docs/PARALLELISM.md):
+    the caller must not let the array escape its run — not into
+    results, closures that outlive the run, or another domain — and
+    two live uses of one [tag] must not overlap. *)
+
+val int_array : tag:string -> len:int -> init:int -> int array
+(** [int_array ~tag ~len ~init] returns this domain's array for
+    [tag], of exactly [len] elements, every element set to [init].
+    Reallocates only when [len] differs from the cached array. *)

@@ -1,23 +1,19 @@
-type event_id = int
+(* An event handle doubles as the cancellation token: [cancel] flips
+   the state in place, so the hot path never touches a hashtable —
+   cancelled events are dropped lazily when the queue reaches them. *)
+type state = Pending | Cancelled | Fired
 
-type event = { id : event_id; handler : t -> unit }
+type event = { mutable state : state; handler : t -> unit }
 
 and t = {
   mutable clock : Units.time;
   queue : event Heap.t;
-  cancelled : (event_id, unit) Hashtbl.t;
-  mutable next_id : event_id;
   mutable live : int;
 }
 
-let create () =
-  {
-    clock = 0;
-    queue = Heap.create ();
-    cancelled = Hashtbl.create 64;
-    next_id = 0;
-    live = 0;
-  }
+type event_id = event
+
+let create () = { clock = 0; queue = Heap.create (); live = 0 }
 
 let now t = t.clock
 
@@ -25,54 +21,69 @@ let schedule t ~at handler =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule: time %d precedes clock %d" at t.clock);
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  Heap.push t.queue ~key:at { id; handler };
+  let ev = { state = Pending; handler } in
+  Heap.push t.queue ~key:at ev;
   t.live <- t.live + 1;
-  id
+  ev
 
 let schedule_after t ~delay handler =
   if delay < 0 then invalid_arg "Sim.schedule_after: negative delay";
   schedule t ~at:(t.clock + delay) handler
 
-let cancel t id =
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.replace t.cancelled id ();
-    t.live <- t.live - 1
-  end
+(* Only a genuinely pending event counts against [live]: cancelling
+   an already-fired or already-cancelled handle is a no-op. *)
+let cancel t ev =
+  match ev.state with
+  | Pending ->
+      ev.state <- Cancelled;
+      t.live <- t.live - 1
+  | Cancelled | Fired -> ()
 
 let pending t = t.live
+
+let fire t ~at ev =
+  t.clock <- at;
+  ev.state <- Fired;
+  t.live <- t.live - 1;
+  ev.handler t
 
 let rec step t =
   match Heap.pop t.queue with
   | None -> false
-  | Some (at, ev) ->
-      if Hashtbl.mem t.cancelled ev.id then begin
-        Hashtbl.remove t.cancelled ev.id;
-        step t
-      end
-      else begin
-        t.clock <- at;
-        t.live <- t.live - 1;
-        ev.handler t;
-        true
-      end
+  | Some (at, ev) -> (
+      match ev.state with
+      | Cancelled -> step t
+      | Pending | Fired ->
+          fire t ~at ev;
+          true)
 
 let run ?until t =
-  let continue = ref true in
-  while !continue do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some (at, _) -> (
-        match until with
-        | Some limit when at > limit ->
-            t.clock <- max t.clock limit;
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.pop_le t.queue ~limit with
+        | Some (_, { state = Cancelled; _ }) -> ()
+        | Some (at, ev) -> fire t ~at ev
+        | None ->
+            (* A pending event past [limit] drags the clock up to the
+               limit; an empty queue leaves it where the last event
+               put it. *)
+            if not (Heap.is_empty t.queue) then t.clock <- max t.clock limit;
             continue := false
-        | _ -> ignore (step t))
-  done
+      done
+
+let rec drop_cancelled t =
+  match Heap.peek t.queue with
+  | Some (_, { state = Cancelled; _ }) ->
+      ignore (Heap.pop t.queue);
+      drop_cancelled t
+  | _ -> ()
 
 let advance_to t target =
   if target < t.clock then invalid_arg "Sim.advance_to: target in the past";
+  drop_cancelled t;
   (match Heap.peek t.queue with
   | Some (at, _) when at < target ->
       invalid_arg "Sim.advance_to: pending event precedes target"

@@ -1,12 +1,18 @@
-type t = { eager_threshold : int }
+type t = { eager_threshold : int; rendezvous_controls : Mk_syscall.Sysno.t list }
 
-let make ?(eager_threshold = 16 * 1024) () = { eager_threshold }
+let make ?(eager_threshold = 16 * 1024) () =
+  (* The control list is immutable and constant, so it is built once
+     here: [control_syscalls] sits under every tree edge of every
+     collective and must not allocate. *)
+  {
+    eager_threshold;
+    rendezvous_controls = [ Mk_syscall.Sysno.Ioctl; Mk_syscall.Sysno.Poll ];
+  }
 
 let eager_threshold t = t.eager_threshold
 
 let control_syscalls t ~bytes =
-  if bytes <= t.eager_threshold then []
-  else [ Mk_syscall.Sysno.Ioctl; Mk_syscall.Sysno.Poll ]
+  if bytes <= t.eager_threshold then [] else t.rendezvous_controls
 
 (* 100 Gb/s = 12.5 GB/s. *)
 let wire_bandwidth = 12.5

@@ -15,7 +15,12 @@ val create : unit -> t
 val map : t -> vaddr:int -> bytes:int -> page:Page.size -> unit
 (** Account mappings covering [bytes] from [vaddr] at the given page
     size.  Intermediate tables are shared between mappings that fall
-    into the same regions, as in a real radix tree. *)
+    into the same regions, as in a real radix tree.
+
+    Cost is O(leaf tables touched), not O(pages): the per-table leaf
+    deltas are computed in closed form per 2M/1G/512G-aligned span, so
+    mapping a multi-GiB region does a few thousand hashtable updates
+    rather than millions of per-page loop iterations. *)
 
 val unmap : t -> vaddr:int -> bytes:int -> page:Page.size -> unit
 
@@ -33,3 +38,19 @@ val walk_levels : Page.size -> int
 
 val entries_per_table : int
 (** 512 on x86-64. *)
+
+val op_count : t -> int
+(** Cumulative inner-loop iterations performed by {!map}/{!unmap}
+    (and the [_reference] variants) on this table since {!create} —
+    a diagnostic counter for asserting the closed-form cost bound in
+    tests. *)
+
+(** {1 Reference implementation}
+
+    The original one-loop-iteration-per-page accounting, retained as
+    an executable specification: property tests drive random
+    map/unmap sequences through both implementations and require
+    identical [leaf_entries]/[table_pages]/[table_bytes]. *)
+
+val map_reference : t -> vaddr:int -> bytes:int -> page:Page.size -> unit
+val unmap_reference : t -> vaddr:int -> bytes:int -> page:Page.size -> unit

@@ -4,9 +4,22 @@ type cost_env = {
   intra_ranks : int;
 }
 
+(* Top-level recursion rather than a fold with a capturing closure:
+   edge costing runs once per tree edge per collective, and at 2048
+   nodes the closure and the (wire, control) tuple of
+   [Fabric.message] were the simulator's hottest allocations. *)
+let rec add_control_costs env acc = function
+  | [] -> acc
+  | s :: rest -> add_control_costs env (acc + env.syscall_cost s) rest
+
 let edge_cost env ~src ~dst ~bytes =
-  let wire, control = Mk_fabric.Fabric.message env.fabric ~src ~dst ~bytes in
-  List.fold_left (fun acc s -> acc + env.syscall_cost s) wire control
+  let wire = Mk_fabric.Fabric.wire_time env.fabric ~src ~dst ~bytes in
+  if src = dst then wire
+  else
+    add_control_costs env wire
+      (Mk_fabric.Nic.control_syscalls
+         (Mk_fabric.Fabric.nic env.fabric)
+         ~bytes)
 
 let allreduce env ~clocks ~bytes =
   let n = Array.length clocks in

@@ -28,7 +28,11 @@ let halo env ~clocks ~bytes ~neighbors =
                          (Mk_fabric.Fabric.nic env.Collective.fabric)
                          ~bytes)
     in
-    let before = Array.copy clocks in
+    (* Domain-local scratch instead of a fresh copy: the halo runs
+       once per sync point per iteration per run, and the copy of a
+       2048-node clock array was pure minor-heap churn. *)
+    let before = Mk_engine.Scratch.int_array ~tag:"p2p.halo.before" ~len:n ~init:0 in
+    Array.blit clocks 0 before 0 n;
     Array.iteri
       (fun i c ->
         let arrival =

@@ -16,13 +16,21 @@ let detour rng (s : Source.t) =
     max 0 (int_of_float (Rng.lognormal rng ~mu ~sigma))
   end
 
+(* Top-level recursions, not local closures: these run once per node
+   per synchronisation point, and the capturing closures they replace
+   were hot minor-heap allocations at high node counts. *)
+let rec detour_sum rng s k acc =
+  if k = 0 then acc else detour_sum rng s (k - 1) (acc + detour rng s)
+
 let source_delay rng s ~dur =
   let k = occurrences rng s ~dur in
-  let rec go i acc = if i = 0 then acc else go (i - 1) (acc + detour rng s) in
-  go k 0
+  detour_sum rng s k 0
 
-let delay profile rng ~dur =
-  List.fold_left (fun acc s -> acc + source_delay rng s ~dur) 0 profile.Profile.sources
+let rec delay_sum rng ~dur acc = function
+  | [] -> acc
+  | s :: rest -> delay_sum rng ~dur (acc + source_delay rng s ~dur) rest
+
+let delay profile rng ~dur = delay_sum rng ~dur 0 profile.Profile.sources
 
 let inflate profile rng ~dur = dur + delay profile rng ~dur
 
@@ -53,17 +61,17 @@ let max_poisson rng ~lambda ~ranks =
     end
   end
 
+let rec max_delay_sum rng ~dur ~ranks acc = function
+  | [] -> acc
+  | (s : Source.t) :: rest ->
+      let lambda = float_of_int dur /. float_of_int s.Source.period in
+      let k = max_poisson rng ~lambda ~ranks in
+      max_delay_sum rng ~dur ~ranks (acc + detour_sum rng s k 0) rest
+
 let max_delay profile rng ~dur ~ranks =
   if ranks <= 0 then invalid_arg "Injector.max_delay: ranks must be positive";
   if ranks = 1 then delay profile rng ~dur
-  else
-    List.fold_left
-      (fun acc (s : Source.t) ->
-        let lambda = float_of_int dur /. float_of_int s.Source.period in
-        let k = max_poisson rng ~lambda ~ranks in
-        let rec go i sum = if i = 0 then sum else go (i - 1) (sum + detour rng s) in
-        acc + go k 0)
-      0 profile.Profile.sources
+  else max_delay_sum rng ~dur ~ranks 0 profile.Profile.sources
 
 let mean_delay profile ~dur =
   let f = Profile.total_overhead profile in

@@ -255,7 +255,7 @@ let test_parallel_matches_sequential () =
       ~node_counts:counts ~runs:3 ()
   in
   let seq = sweep () in
-  let pool = Mk_engine.Pool.create ~num_domains:3 () in
+  let pool = Mk_engine.Pool.create ~oversubscribe:true ~num_domains:3 () in
   let par = sweep ~pool () in
   Mk_engine.Pool.shutdown pool;
   Alcotest.(check string)

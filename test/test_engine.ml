@@ -141,6 +141,38 @@ let heap_qcheck =
       let drained = List.map fst (Heap.to_sorted_list h) in
       drained = List.sort compare keys)
 
+(* Model-based: a stable priority queue compared against a stably
+   sorted reference list, with pops interleaved between pushes so the
+   root-removal and sift paths run from many intermediate shapes (the
+   shapes Sim produces when cancelled events are popped and skipped). *)
+let heap_stable_queue_qcheck =
+  QCheck.Test.make ~name:"heap is a stable priority queue under mixed ops"
+    ~count:200
+    QCheck.(list (pair (int_range 0 15) bool))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let by_key_then_seq (k1, s1) (k2, s2) =
+        if k1 <> k2 then compare k1 k2 else compare s1 s2
+      in
+      let ok = ref true in
+      List.iter
+        (fun (key, do_pop) ->
+          if do_pop then (
+            match (Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some (k, v), (mk, ms) :: rest when k = mk && v = ms ->
+                model := rest
+            | _ -> ok := false)
+          else begin
+            Heap.push h ~key !seq;
+            model := List.sort by_key_then_seq ((key, !seq) :: !model);
+            incr seq
+          end)
+        ops;
+      !ok && Heap.length h = List.length !model)
+
 (* ------------------------------------------------------------------ *)
 (* Sim *)
 
@@ -196,6 +228,55 @@ let test_sim_past_rejected () =
   Alcotest.check_raises "past schedule"
     (Invalid_argument "Sim.schedule: time 5 precedes clock 10") (fun () ->
       ignore (Sim.schedule sim ~at:5 (fun _ -> ())))
+
+(* Regression for the live-event accounting: [pending] must reflect
+   exactly the uncancelled, unfired events — a double cancel, or a
+   cancel of an already-fired event, must not decrement it again. *)
+let test_sim_cancel_accounting () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let a = Sim.schedule sim ~at:5 (fun _ -> incr fired) in
+  let b = Sim.schedule sim ~at:6 (fun _ -> incr fired) in
+  check_int "two live" 2 (Sim.pending sim);
+  Sim.cancel sim a;
+  check_int "one live after cancel" 1 (Sim.pending sim);
+  Sim.cancel sim a;
+  check_int "double cancel does not decrement" 1 (Sim.pending sim);
+  Sim.run sim;
+  check_int "only the live event fired" 1 !fired;
+  check_int "drained" 0 (Sim.pending sim);
+  Sim.cancel sim b;
+  Sim.cancel sim b;
+  check_int "cancel after firing does not underflow" 0 (Sim.pending sim);
+  ignore (Sim.schedule sim ~at:10 (fun _ -> ()));
+  check_int "fresh event counted" 1 (Sim.pending sim)
+
+let sim_random_cancels_qcheck =
+  QCheck.Test.make
+    ~name:"sim fires exactly the uncancelled events, in (time, seq) order"
+    ~count:100
+    QCheck.(list (pair (int_range 0 50) bool))
+    (fun specs ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      let ids =
+        List.mapi
+          (fun i (at, _) ->
+            Sim.schedule sim ~at (fun s -> fired := (i, Sim.now s) :: !fired))
+          specs
+      in
+      List.iter2
+        (fun id (_, cancel) -> if cancel then Sim.cancel sim id)
+        ids specs;
+      let live =
+        List.filteri (fun i _ -> not (snd (List.nth specs i))) (List.mapi (fun i (at, _) -> (i, at)) specs)
+      in
+      let ok_pending = Sim.pending sim = List.length live in
+      Sim.run sim;
+      let expected =
+        List.stable_sort (fun (_, a1) (_, a2) -> compare a1 a2) live
+      in
+      ok_pending && List.rev !fired = expected && Sim.pending sim = 0)
 
 let test_sim_advance_to () =
   let sim = Sim.create () in
@@ -426,10 +507,10 @@ let test_atomic_partial_write_invisible () =
 let test_pool_invalid_size () =
   Alcotest.check_raises "zero domains"
     (Invalid_argument "Pool.create: num_domains must be >= 1") (fun () ->
-      ignore (Pool.create ~num_domains:0 ()))
+      ignore (Pool.create ~oversubscribe:true ~num_domains:0 ()))
 
 let test_pool_ordering () =
-  let pool = Pool.create ~num_domains:4 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:4 () in
   let xs = List.init 100 Fun.id in
   Alcotest.(check (list int))
     "order preserved"
@@ -438,7 +519,7 @@ let test_pool_ordering () =
   Pool.shutdown pool
 
 let test_pool_exception_propagates () =
-  let pool = Pool.create ~num_domains:3 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:3 () in
   Alcotest.check_raises "worker exception re-raised" (Failure "boom 7") (fun () ->
       ignore
         (Pool.parallel_map ~pool
@@ -451,7 +532,7 @@ let test_pool_exception_propagates () =
   Pool.shutdown pool
 
 let test_pool_reuse () =
-  let pool = Pool.create ~num_domains:2 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:2 () in
   for round = 1 to 5 do
     let xs = List.init 37 (fun i -> i + round) in
     Alcotest.(check (list int))
@@ -461,7 +542,7 @@ let test_pool_reuse () =
   Pool.shutdown pool
 
 let test_pool_single_worker_degenerate () =
-  let pool = Pool.create ~num_domains:1 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:1 () in
   check_int "size" 1 (Pool.size pool);
   Alcotest.(check (list int))
     "sequential fallback" [ 1; 4; 9 ]
@@ -471,7 +552,7 @@ let test_pool_single_worker_degenerate () =
 let test_pool_nested_map () =
   (* A map inside a worker (sweep -> point) degrades to List.map on
      that worker: same results, no deadlock. *)
-  let pool = Pool.create ~num_domains:2 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:2 () in
   let result =
     Pool.parallel_map ~pool
       (fun i -> Pool.parallel_map ~pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
@@ -484,7 +565,7 @@ let test_pool_nested_map () =
   Pool.shutdown pool
 
 let test_pool_shutdown_rejects () =
-  let pool = Pool.create ~num_domains:2 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:2 () in
   Pool.shutdown pool;
   Pool.shutdown pool;
   (* idempotent *)
@@ -521,7 +602,7 @@ let wait_poisoned pool =
   go ()
 
 let test_pool_poison_fail_fast () =
-  let pool = Pool.create ~num_domains:2 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:2 () in
   Pool.submit pool (fun () -> failwith "raw boom");
   check_bool "poison observed" true (wait_poisoned pool = Failure "raw boom");
   Alcotest.check_raises "parallel_map re-raises the poison"
@@ -534,7 +615,7 @@ let test_pool_poison_fail_fast () =
   Pool.shutdown pool
 
 let test_pool_poison_first_exception_wins () =
-  let pool = Pool.create ~num_domains:2 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:2 () in
   Pool.submit pool (fun () -> failwith "first");
   check_bool "poison observed" true (wait_poisoned pool = Failure "first");
   Alcotest.check_raises "later failures cannot displace it" (Failure "first")
@@ -543,10 +624,24 @@ let test_pool_poison_first_exception_wins () =
     (fun () -> ignore (Pool.parallel_map ~pool succ [ 1; 2; 3 ]));
   Pool.shutdown pool
 
+let test_pool_clamped_to_cores () =
+  (* Without [oversubscribe] the worker count is capped so that
+     executors (workers + the helping submitter) never exceed the
+     machine's concurrency; the map must still be correct even when
+     the cap leaves zero workers. *)
+  let pool = Pool.create ~num_domains:64 () in
+  check_bool "workers clamped to cores" true
+    (Pool.size pool <= max 0 (Domain.recommended_domain_count () - 1));
+  Alcotest.(check (list int))
+    "clamped pool still maps"
+    (List.init 100 succ)
+    (Pool.parallel_map ~pool succ (List.init 100 Fun.id));
+  Pool.shutdown pool
+
 let test_pool_shutdown_with_pending_jobs () =
   (* Exception-free variant of a mid-flight shutdown: jobs that never
      ran must surface as a clean error, not a hang. *)
-  let pool = Pool.create ~num_domains:2 () in
+  let pool = Pool.create ~oversubscribe:true ~num_domains:2 () in
   Pool.shutdown pool;
   Alcotest.check_raises "abandoned batch"
     (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
@@ -640,17 +735,20 @@ let () =
         :: Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties
         :: Alcotest.test_case "pop empty" `Quick test_heap_pop_empty
         :: Alcotest.test_case "grow" `Quick test_heap_grow
-        :: qsuite [ heap_qcheck ] );
+        :: qsuite [ heap_qcheck; heap_stable_queue_qcheck ] );
       ( "sim",
         [
           Alcotest.test_case "fires in order" `Quick test_sim_fires_in_order;
           Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "cancel accounting" `Quick
+            test_sim_cancel_accounting;
           Alcotest.test_case "schedule from handler" `Quick
             test_sim_schedule_from_handler;
           Alcotest.test_case "run until" `Quick test_sim_run_until;
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
           Alcotest.test_case "advance_to" `Quick test_sim_advance_to;
-        ] );
+        ]
+        @ qsuite [ sim_random_cancels_qcheck ] );
       ( "stats",
         Alcotest.test_case "summary basic" `Quick test_summary_basic
         :: Alcotest.test_case "summary merge" `Quick test_summary_merge
@@ -703,6 +801,7 @@ let () =
             test_pool_poison_first_exception_wins;
           Alcotest.test_case "shutdown with pending jobs" `Quick
             test_pool_shutdown_with_pending_jobs;
+          Alcotest.test_case "clamped to cores" `Quick test_pool_clamped_to_cores;
         ] );
       ( "table",
         [

@@ -369,7 +369,7 @@ let replay_deterministic =
           ~scenario:Mk_cluster.Scenario.mckernel ~app:hpcg ~nodes:8 ~runs:3
           ~seed ()
       in
-      let pool = Mk_engine.Pool.create ~num_domains:3 () in
+      let pool = Mk_engine.Pool.create ~oversubscribe:true ~num_domains:3 () in
       Fun.protect ~finally:(fun () -> Mk_engine.Pool.shutdown pool) @@ fun () ->
       point None = point (Some pool))
 
@@ -378,7 +378,7 @@ let test_degradation_table_deterministic () =
     Mk_cluster.Degradation.run ?pool ~app:hpcg ~nodes:16 ~preset:"mixed"
       ~rates:[ 1.0 ] ~runs:3 ~seed:42 ()
   in
-  let pool = Mk_engine.Pool.create ~num_domains:4 () in
+  let pool = Mk_engine.Pool.create ~oversubscribe:true ~num_domains:4 () in
   Fun.protect ~finally:(fun () -> Mk_engine.Pool.shutdown pool) @@ fun () ->
   let seq = table None and par = table (Some pool) in
   check_bool "tables identical" true (seq = par);

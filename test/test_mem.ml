@@ -477,6 +477,63 @@ let test_pgtbl_address_space_integration () =
   check_int "one 1G translation" 1 lwk;
   check_bool "linux needs hundreds" true (lin >= 512)
 
+let test_pgtbl_closed_form_op_count () =
+  (* The acceptance bound for the closed-form span arithmetic: a
+     4 GiB 4K mapping is 1M pages but only 2048 leaf tables, and the
+     work must scale with the tables, not the pages. *)
+  let pt = Page_table.create () in
+  Page_table.map pt ~vaddr:0 ~bytes:(4 * gib) ~page:Page.Small;
+  check_int "a million leaves" (1024 * 1024) (Page_table.leaf_entries pt);
+  check_bool "map cost is O(leaf tables), not O(pages)" true
+    (Page_table.op_count pt < 5_000);
+  Page_table.unmap pt ~vaddr:0 ~bytes:(4 * gib) ~page:Page.Small;
+  check_int "clean" 0 (Page_table.table_pages pt);
+  check_bool "unmap too" true (Page_table.op_count pt < 10_000)
+
+(* The executable specification: random (overlapping, boundary-
+   crossing) map/unmap sequences through the closed-form code and the
+   per-page reference walk must agree on every accounting observable
+   after every operation. *)
+let pgtbl_closed_form_matches_reference =
+  QCheck.Test.make ~name:"closed-form page table = per-page reference"
+    ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 12)
+        (triple (int_range 0 2) (int_range 0 99) (int_range 0 99)))
+    (fun ops ->
+      let opt = Page_table.create () in
+      let spec = Page_table.create () in
+      let mapped = ref [] in
+      let agree () =
+        Page_table.leaf_entries opt = Page_table.leaf_entries spec
+        && Page_table.table_pages opt = Page_table.table_pages spec
+        && Page_table.table_bytes opt = Page_table.table_bytes spec
+      in
+      List.for_all
+        (fun (psel, a, b) ->
+          (match (!mapped, b mod 3) with
+          | (vaddr, bytes, page) :: rest, 0 ->
+              Page_table.unmap opt ~vaddr ~bytes ~page;
+              Page_table.unmap_reference spec ~vaddr ~bytes ~page;
+              mapped := rest
+          | _ ->
+              let page =
+                match psel with
+                | 0 -> Page.Small
+                | 1 -> Page.Large
+                | _ -> Page.Huge
+              in
+              let unit_ = Page.bytes page in
+              (* Offsets and lengths in units of the page size, spread
+                 far enough to straddle 2M/1G/512G span boundaries and
+                 to overlap earlier mappings. *)
+              let vaddr = a * 61 * unit_ in
+              let bytes = (1 + (b mod 40)) * 37 * unit_ in
+              Page_table.map opt ~vaddr ~bytes ~page;
+              Page_table.map_reference spec ~vaddr ~bytes ~page;
+              mapped := (vaddr, bytes, page) :: !mapped);
+          agree ())
+        ops)
+
 let pgtbl_conservation =
   QCheck.Test.make ~name:"page table map/unmap conserves" ~count:100
     QCheck.(pair (int_range 1 64) (int_range 0 2))
@@ -631,7 +688,9 @@ let () =
              test_pgtbl_shared_intermediates
         :: Alcotest.test_case "address space integration" `Quick
              test_pgtbl_address_space_integration
-        :: qsuite [ pgtbl_conservation ] );
+        :: Alcotest.test_case "closed-form op count" `Quick
+             test_pgtbl_closed_form_op_count
+        :: qsuite [ pgtbl_conservation; pgtbl_closed_form_matches_reference ] );
       ( "address_space",
         [
           Alcotest.test_case "linux demand paging" `Quick test_as_linux_demand_paging;
