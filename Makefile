@@ -1,0 +1,20 @@
+# Convenience aliases around dune; ci.sh remains the authoritative gate.
+.PHONY: build test lint lint-json doc ci
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+lint:
+	dune exec mklint -- --ci
+
+lint-json:
+	dune exec mklint -- --json
+
+doc:
+	dune build @doc
+
+ci:
+	./ci.sh

@@ -490,12 +490,15 @@ let bechamel_micro () =
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
     let raw = Benchmark.all cfg instances test in
     let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-    Hashtbl.iter
-      (fun name ols ->
+    (* Sorted: bechamel hands results back in a Hashtbl, and printing
+       it in bucket order would let the hash layout pick the line
+       order of the report (mklint R3). *)
+    List.iter
+      (fun (name, ols) ->
         match Analyze.OLS.estimates ols with
         | Some (t :: _) -> Printf.printf "  %-28s %10.1f ns/op\n" name t
         | Some [] | None -> Printf.printf "  %-28s (no estimate)\n" name)
-      results
+      (Analysis.Sorted.bindings results)
   in
   List.iter
     (fun t -> benchmark (Test.make_grouped ~name:"micro" ~fmt:"%s %s" [ t ]))
@@ -957,12 +960,12 @@ let perf ?tag ~smoke () =
   let seq_doc, seq_s = Hashtbl.find best 1 in
   (* The determinism contract, enforced here too: every parallel
      rendering must equal the sequential one byte for byte. *)
-  Hashtbl.iter
-    (fun jobs (doc, _) ->
+  List.iter
+    (fun (jobs, (doc, _)) ->
       if doc <> seq_doc then
         failwith
           (Printf.sprintf "perf: -j %d suite diverged from sequential" jobs))
-    best;
+    (Analysis.Sorted.bindings best);
   let _, j2_s = Hashtbl.find best 2 in
   Printf.printf "suite: sequential %.2fs, -j 2 %.2fs (%.2fx)%s, outputs identical\n"
     seq_s j2_s (seq_s /. j2_s)

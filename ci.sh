@@ -9,6 +9,15 @@ set -e
 cd "$(dirname "$0")"
 
 dune build
+
+# Static determinism & domain-safety gate (docs/STATIC_ANALYSIS.md):
+# wall-clock reads, ambient Random, order-leaking Hashtbl iteration,
+# cross-domain mutable globals and stray stdout in lib/ fail the build
+# here, before the (slower) runtime byte-identity checks get a chance
+# to miss them.  Non-zero on any error not suppressed inline or
+# carried in .mklint-baseline.
+dune exec mklint -- --ci
+
 dune runtest
 
 # Robustness gates, run explicitly so a failure is attributable even

@@ -1,0 +1,61 @@
+type entry = { rule : Rule.id; file : string; line : int }
+type t = entry list
+
+let empty = []
+let is_empty t = t = []
+
+let parse_line ln s =
+  let s = String.trim s in
+  if s = "" || s.[0] = '#' then Ok None
+  else
+    match String.split_on_char ' ' s |> List.filter (fun w -> w <> "") with
+    | [ rule; loc ] -> (
+        match (Rule.id_of_string rule, String.rindex_opt loc ':') with
+        | Some rule, Some i -> (
+            let file = String.sub loc 0 i in
+            let line = String.sub loc (i + 1) (String.length loc - i - 1) in
+            match int_of_string_opt line with
+            | Some line when file <> "" -> Ok (Some { rule; file; line })
+            | _ -> Error (Printf.sprintf "baseline line %d: bad location %S" ln loc))
+        | _ -> Error (Printf.sprintf "baseline line %d: unparseable entry %S" ln s))
+    | _ ->
+        Error
+          (Printf.sprintf "baseline line %d: expected 'RULE file:line', got %S"
+             ln s)
+
+let load path =
+  if not (Sys.file_exists path) then Ok empty
+  else
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    let lines = String.split_on_char '\n' contents in
+    List.fold_left
+      (fun acc (ln, s) ->
+        match acc with
+        | Error _ -> acc
+        | Ok t -> (
+            match parse_line ln s with
+            | Ok None -> Ok t
+            | Ok (Some e) -> Ok (e :: t)
+            | Error e -> Error e))
+      (Ok empty)
+      (List.mapi (fun i s -> (i + 1, s)) lines)
+
+let mem t (v : Rule.violation) =
+  List.exists (fun e -> e.rule = v.rule && e.file = v.file && e.line = v.line) t
+
+let render vs =
+  let entries =
+    List.map
+      (fun (v : Rule.violation) ->
+        Printf.sprintf "%s %s:%d" (Rule.id_to_string v.rule) v.file v.line)
+      vs
+    |> List.sort_uniq String.compare
+  in
+  String.concat "\n"
+    (("# mklint baseline: tolerated pre-existing findings, one 'RULE file:line' per line."
+     :: entries)
+    @ [ "" ])

@@ -1,0 +1,32 @@
+(** The checked-in violation baseline.
+
+    A baseline lets the gate land strict on a tree with known debt:
+    every entry names one existing violation that is tolerated until
+    fixed, while anything *new* still fails CI.  The format is one
+    entry per line, [#] comments and blank lines ignored:
+
+    {v
+    # rule  file:line
+    R3 lib/cluster/report.ml:42
+    v}
+
+    Matching is exact on (rule, file, line), so moving or duplicating
+    a flagged construct surfaces it again.  The shipped baseline
+    ([.mklint-baseline]) is empty: every finding on the current tree
+    was fixed or inline-suppressed instead. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val load : string -> (t, string) result
+(** Read a baseline file.  A missing file is [Ok empty]; a malformed
+    line is an [Error] naming it, so a typo cannot silently tolerate
+    everything. *)
+
+val mem : t -> Rule.violation -> bool
+
+val render : Rule.violation list -> string
+(** Serialise violations as baseline entries (sorted, deduplicated) —
+    what [mklint --update-baseline] writes. *)

@@ -1,0 +1,396 @@
+type zone = Lib | Bin | Bench | Tools
+
+let classify file =
+  match String.split_on_char '/' file with
+  | "lib" :: _ -> Some Lib
+  | "bin" :: _ -> Some Bin
+  | "bench" :: _ -> Some Bench
+  | "tools" :: _ -> Some Tools
+  | _ -> None
+
+(* Output-byte-producing modules: Hashtbl iteration here is an error,
+   not a warning, because bucket order becomes file/report bytes.
+   Ltp is included for its verdict tables (failures_by_cause). *)
+let serialization_files =
+  [
+    "lib/cluster/report.ml";
+    "lib/compat/ltp.ml";
+    "lib/engine/json.ml";
+    "lib/engine/table.ml";
+  ]
+
+let report_layer_files = [ "lib/cluster/report.ml"; "lib/engine/table.ml" ]
+let prng_files = [ "lib/engine/rng.ml" ]
+
+(* ------------------------------------------------------------------ *)
+(* Name tables *)
+
+let wall_clock_names =
+  [ "Unix.gettimeofday"; "Unix.time"; "Unix.localtime"; "Unix.gmtime"; "Sys.time" ]
+
+let hashtbl_iteration_names = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+let stdout_printer_names =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_bytes";
+    "Stdlib.print_string";
+    "Stdlib.print_endline";
+    "Stdlib.print_newline";
+    "Printf.printf";
+    "Format.printf";
+    "Format.print_string";
+    "Format.print_newline";
+    "Format.print_flush";
+  ]
+
+let mutable_ctor = function
+  | "ref" | "Stdlib.ref" -> Some "ref cell"
+  | "Hashtbl.create" -> Some "Hashtbl"
+  | "Buffer.create" -> Some "Buffer"
+  | "Queue.create" -> Some "Queue"
+  | "Stack.create" -> Some "Stack"
+  | "Atomic.make" -> Some "Atomic"
+  | "Bytes.create" | "Bytes.make" -> Some "Bytes buffer"
+  | "Weak.create" -> Some "Weak array"
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Parsetree helpers *)
+
+let longident_name lid =
+  match Longident.flatten lid with
+  | exception _ -> ""
+  | parts -> String.concat "." parts
+
+let loc_line_col (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* ------------------------------------------------------------------ *)
+(* Per-expression identifier rules: R1, R2, R3, R5 *)
+
+let ident_violation ~file ~zone name loc =
+  let mk rule severity fmt =
+    let line, col = loc_line_col loc in
+    Printf.ksprintf
+      (fun message -> Some { Rule.rule; severity; file; line; col; message })
+      fmt
+  in
+  if List.mem name wall_clock_names && (zone = Lib || zone = Bin) then
+    mk R1 Error
+      "wall-clock read %s in simulation code — results must depend only on \
+       the DES clock and the seed; wall clock belongs in bench/"
+      name
+  else if has_prefix ~prefix:"Random." name && not (List.mem file prng_files)
+  then
+    mk R2 Error
+      "ambient randomness %s draws from process-global state — split the \
+       run's seeded Engine.Rng instead"
+      name
+  else if List.mem name hashtbl_iteration_names then
+    let severity : Rule.severity =
+      if List.mem file serialization_files || zone = Bench || zone = Bin then
+        Error
+      else Warning
+    in
+    mk R3 severity
+      "%s visits bindings in unspecified hash order — route through \
+       Analysis.Sorted.bindings, or suppress with an order-independence \
+       argument"
+      name
+  else if
+    zone = Lib
+    && (not (List.mem file report_layer_files))
+    && List.mem name stdout_printer_names
+  then
+    mk R5 Error
+      "%s writes directly to stdout from lib/ — return a string (or take a \
+       Format formatter) and let the report layer print"
+      name
+  else None
+
+let collect_ident_violations ~file ~zone structure =
+  let acc = ref [] in
+  let expr (self : Ast_iterator.iterator) e =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> (
+        match ident_violation ~file ~zone (longident_name txt) loc with
+        | Some v -> acc := v :: !acc
+        | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.structure iter structure;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* R4: top-level mutable state *)
+
+(* The value a top-level binding ultimately holds: look through
+   scaffolding (let/sequence/open/constraint) so construction-time
+   scratch tables inside [let corpus = let tbl = ... in <pure list>]
+   are not flagged — only bindings whose *result* is a mutable cell. *)
+let rec binding_head (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_let (_, _, body)
+  | Pexp_sequence (_, body)
+  | Pexp_open (_, body)
+  | Pexp_letmodule (_, _, body)
+  | Pexp_letexception (_, body)
+  | Pexp_constraint (body, _) ->
+      binding_head body
+  | _ -> e
+
+let rec collect_global_mutables ~file structure =
+  List.concat_map (global_mutables_of_item ~file) structure
+
+and global_mutables_of_item ~file (it : Parsetree.structure_item) =
+  match it.pstr_desc with
+  | Pstr_value (_, vbs) ->
+      List.filter_map
+        (fun (vb : Parsetree.value_binding) ->
+          match (binding_head vb.pvb_expr).pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+              match mutable_ctor (longident_name txt) with
+              | Some what ->
+                  let line, col = loc_line_col vb.pvb_loc in
+                  Some
+                    {
+                      Rule.rule = R4;
+                      severity = Error;
+                      file;
+                      line;
+                      col;
+                      message =
+                        Printf.sprintf
+                          "top-level %s is shared mutable state reachable \
+                           from every Pool worker domain — move it into \
+                           Scratch / pass it explicitly, or suppress with a \
+                           single-domain justification"
+                          what;
+                    }
+              | None -> None)
+          | _ -> None)
+        vbs
+  | Pstr_module { pmb_expr; _ } -> global_mutables_of_module ~file pmb_expr
+  | Pstr_recmodule mbs ->
+      List.concat_map
+        (fun (mb : Parsetree.module_binding) ->
+          global_mutables_of_module ~file mb.pmb_expr)
+        mbs
+  | Pstr_include { pincl_mod; _ } -> global_mutables_of_module ~file pincl_mod
+  | _ -> []
+
+and global_mutables_of_module ~file (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure str -> collect_global_mutables ~file str
+  (* Functor bodies allocate per application; the applied module is
+     checked at its own definition site when it is a structure. *)
+  | Pmod_constraint (me, _) -> global_mutables_of_module ~file me
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* One file *)
+
+let parse_violation ~file ~line message =
+  { Rule.rule = Parse; severity = Error; file; line; col = 0; message }
+
+let lint_string ~file contents =
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf file;
+  if Filename.check_suffix file ".mli" then
+    match Parse.interface lexbuf with
+    | (_ : Parsetree.signature) -> []
+    | exception exn ->
+        [
+          parse_violation ~file ~line:lexbuf.lex_curr_p.pos_lnum
+            (Printf.sprintf "interface does not parse: %s"
+               (Printexc.to_string exn));
+        ]
+  else
+    match Parse.implementation lexbuf with
+    | structure -> (
+        match classify file with
+        | None -> []
+        | Some zone ->
+            collect_ident_violations ~file ~zone structure
+            @ (if zone = Lib then collect_global_mutables ~file structure
+               else []))
+    | exception exn ->
+        [
+          parse_violation ~file ~line:lexbuf.lex_curr_p.pos_lnum
+            (Printf.sprintf "implementation does not parse: %s"
+               (Printexc.to_string exn));
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Reports over file sets *)
+
+type status = Active | Suppressed | Baselined
+
+let status_to_string = function
+  | Active -> "active"
+  | Suppressed -> "suppressed"
+  | Baselined -> "baselined"
+
+type report = {
+  root : string;
+  files : string list;
+  findings : (Rule.violation * status) list;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let normalize file =
+  if has_prefix ~prefix:"./" file then
+    String.sub file 2 (String.length file - 2)
+  else file
+
+let missing_mli ~root file =
+  Filename.check_suffix file ".ml"
+  && classify file = Some Lib
+  && not (Sys.file_exists (Filename.concat root (file ^ "i")))
+
+let lint_one ~root ~baseline file =
+  let contents = read_file (Filename.concat root file) in
+  let vs = lint_string ~file contents in
+  let vs =
+    if missing_mli ~root file then
+      {
+        Rule.rule = R6;
+        severity = Warning;
+        file;
+        line = 1;
+        col = 0;
+        message =
+          "module has no .mli — its whole surface (including any mutable \
+           state) is public; declare the interface";
+      }
+      :: vs
+    else vs
+  in
+  let sup = Suppress.scan contents in
+  List.map
+    (fun (v : Rule.violation) ->
+      let status =
+        if Suppress.allows sup ~rule:v.rule ~line:v.line then Suppressed
+        else if Baseline.mem baseline v then Baselined
+        else Active
+      in
+      (v, status))
+    vs
+
+let lint_files ~root ~baseline files =
+  let files = List.sort_uniq String.compare (List.map normalize files) in
+  let findings = List.concat_map (lint_one ~root ~baseline) files in
+  let findings =
+    List.sort
+      (fun (a, _) (b, _) -> Rule.compare_violation a b)
+      findings
+  in
+  { root; files; findings }
+
+let default_dirs = [ "bench"; "bin"; "lib"; "tools" ]
+
+let source_file f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let rec walk ~root rel acc =
+  let abs = Filename.concat root rel in
+  List.fold_left
+    (fun acc entry ->
+      if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then acc
+      else
+        let rel = Filename.concat rel entry in
+        let abs = Filename.concat abs entry in
+        if Sys.is_directory abs then walk ~root rel acc
+        else if source_file entry then rel :: acc
+        else acc)
+    acc
+    (Array.to_list (Sys.readdir abs))
+
+let lint_tree ?(dirs = default_dirs) ~root ~baseline () =
+  let files =
+    List.fold_left
+      (fun acc d ->
+        if Sys.file_exists (Filename.concat root d) then walk ~root d acc
+        else acc)
+      [] dirs
+  in
+  lint_files ~root ~baseline files
+
+(* ------------------------------------------------------------------ *)
+(* Output *)
+
+let active r = List.filter_map (function v, Active -> Some v | _ -> None) r.findings
+
+let errors r =
+  List.filter (fun (v : Rule.violation) -> v.severity = Error) (active r)
+
+let warnings r =
+  List.filter (fun (v : Rule.violation) -> v.severity = Warning) (active r)
+
+let count st r = List.length (List.filter (fun (_, s) -> s = st) r.findings)
+
+let finding_json ((v : Rule.violation), status) =
+  Mk_engine.Json.Obj
+    [
+      ("rule", Mk_engine.Json.String (Rule.id_to_string v.rule));
+      ("severity", Mk_engine.Json.String (Rule.severity_to_string v.severity));
+      ("file", Mk_engine.Json.String v.file);
+      ("line", Mk_engine.Json.Int v.line);
+      ("col", Mk_engine.Json.Int v.col);
+      ("status", Mk_engine.Json.String (status_to_string status));
+      ("message", Mk_engine.Json.String v.message);
+    ]
+
+let to_json r =
+  Mk_engine.Json.Obj
+    [
+      ("schema", Mk_engine.Json.String "mklint/1");
+      ("files", Mk_engine.Json.Int (List.length r.files));
+      ("errors", Mk_engine.Json.Int (List.length (errors r)));
+      ("warnings", Mk_engine.Json.Int (List.length (warnings r)));
+      ("suppressed", Mk_engine.Json.Int (count Suppressed r));
+      ("baselined", Mk_engine.Json.Int (count Baselined r));
+      ("findings", Mk_engine.Json.List (List.map finding_json r.findings));
+    ]
+
+let render r =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun ((v : Rule.violation), status) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d:%d: [%s/%s] %s%s\n" v.file v.line v.col
+           (Rule.id_to_string v.rule)
+           (Rule.severity_to_string v.severity)
+           v.message
+           (match status with
+           | Active -> ""
+           | Suppressed -> " (suppressed)"
+           | Baselined -> " (baselined)")))
+    r.findings;
+  Buffer.add_string b
+    (Printf.sprintf
+       "mklint: %d files scanned — %d errors, %d warnings (%d suppressed, %d \
+        baselined)\n"
+       (List.length r.files)
+       (List.length (errors r))
+       (List.length (warnings r))
+       (count Suppressed r) (count Baselined r));
+  Buffer.contents b

@@ -1,0 +1,67 @@
+(** The mklint analysis pass.
+
+    Parses [.ml]/[.mli] files with the compiler's own parser
+    (compiler-libs) and walks the parsetree for the rule catalogue in
+    {!Rule}.  Detection is syntactic and name-based: [Unix.gettimeofday]
+    reached through [let open Unix] or a module alias is not seen —
+    acceptable for a lint pass whose job is to keep the honest honest;
+    the byte-identity smoke tests remain the runtime backstop. *)
+
+type zone = Lib | Bin | Bench | Tools
+
+val classify : string -> zone option
+(** Zone of a root-relative path, by leading directory.  Rules are
+    zone-scoped: wall clock (R1) is banned in [Lib]/[Bin] but fine in
+    [Bench]; stdout printing (R5) and global mutable state (R4) are
+    [Lib]-only; ambient [Random] (R2) is banned everywhere. *)
+
+val serialization_files : string list
+(** Modules whose output bytes are compared or persisted; [R3] is an
+    error here (and anywhere under [bench/]/[bin/]), a warning in the
+    rest of [lib/]. *)
+
+val report_layer_files : string list
+(** The designated stdout owners, exempt from [R5]. *)
+
+val prng_files : string list
+(** The seeded-PRNG implementation, exempt from [R2]. *)
+
+val lint_string : file:string -> string -> Rule.violation list
+(** Rule findings for one file given as contents.  [file] must be the
+    root-relative path (it decides zone and exemptions).  Suppressions,
+    baseline and R6 (which needs the tree) are not applied here. *)
+
+type status = Active | Suppressed | Baselined
+
+val status_to_string : status -> string
+
+type report = {
+  root : string;
+  files : string list;  (** scanned files, sorted *)
+  findings : (Rule.violation * status) list;  (** sorted by violation *)
+}
+
+val lint_files : root:string -> baseline:Baseline.t -> string list -> report
+(** Lint the given root-relative files.  The report is identical for
+    any permutation of the input list (tested by a qcheck property). *)
+
+val default_dirs : string list
+
+val lint_tree :
+  ?dirs:string list -> root:string -> baseline:Baseline.t -> unit -> report
+(** Discover and lint every [.ml]/[.mli] under [dirs] (default
+    {!default_dirs}), skipping [_build]-style and hidden directories. *)
+
+val active : report -> Rule.violation list
+val errors : report -> Rule.violation list
+(** Active (not suppressed, not baselined) error-severity findings —
+    what fails [--ci]. *)
+
+val warnings : report -> Rule.violation list
+
+val to_json : report -> Mk_engine.Json.t
+(** Machine-readable report ([mklint/1] schema), deterministic: files
+    and findings are sorted, never in scan order. *)
+
+val render : report -> string
+(** Human-readable listing plus a one-line summary. *)

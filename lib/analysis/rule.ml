@@ -1,0 +1,88 @@
+type severity = Error | Warning
+
+type id = Parse | R1 | R2 | R3 | R4 | R5 | R6
+
+let all = [ R1; R2; R3; R4; R5; R6 ]
+
+let id_to_string = function
+  | Parse -> "parse"
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+
+let id_of_string s =
+  match String.lowercase_ascii s with
+  | "parse" -> Some Parse
+  | "r1" -> Some R1
+  | "r2" -> Some R2
+  | "r3" -> Some R3
+  | "r4" -> Some R4
+  | "r5" -> Some R5
+  | "r6" -> Some R6
+  | _ -> None
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let title = function
+  | Parse -> "file must parse"
+  | R1 -> "no wall-clock reads in simulation code"
+  | R2 -> "no ambient Random — all randomness flows through the seeded PRNG"
+  | R3 -> "no Hashtbl.iter/fold where iteration order can leak into output"
+  | R4 -> "no top-level mutable state reachable from pool workers"
+  | R5 -> "no direct stdout printing in lib/ outside the report layer"
+  | R6 -> "every lib/ module declares its interface in an .mli"
+
+let hazard = function
+  | Parse -> "an unparseable file escapes every other rule"
+  | R1 ->
+      "Unix.gettimeofday/Sys.time in a sim path makes results depend on the \
+       host clock, breaking same-seed byte-identical replay"
+  | R2 ->
+      "Random.self_init (or any ambient Random.*) draws from process-global \
+       state, so reruns and -j N runs diverge; use Engine.Rng splits"
+  | R3 ->
+      "Hashtbl iteration order is unspecified, so folding a table into a \
+       report or results file lets bucket layout choose the output bytes"
+  | R4 ->
+      "a top-level ref/Hashtbl is shared by every Pool worker domain: \
+       cross-domain mutation races and schedule-dependent results"
+  | R5 ->
+      "stray prints interleave nondeterministically under -j N and corrupt \
+       byte-compared report streams; return strings or go through Report"
+  | R6 ->
+      "without an .mli the whole module surface is public, so internal \
+       mutable state can be reached from anywhere"
+
+type violation = {
+  rule : id;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let id_rank = function
+  | Parse -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+
+let compare_violation a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = compare (id_rank a.rule) (id_rank b.rule) in
+        if c <> 0 then c else String.compare a.message b.message

@@ -1,0 +1,46 @@
+(** Rule identities, severities and violations for mklint.
+
+    Each rule targets a concrete hazard class for a deterministic
+    multi-kernel simulation: wall-clock reads, ambient randomness,
+    order-leaking hash iteration, cross-domain mutable globals and
+    stray stdout writes.  The full catalogue with rationale lives in
+    docs/STATIC_ANALYSIS.md. *)
+
+type severity = Error | Warning
+
+type id =
+  | Parse  (** a file that does not parse cannot be vouched for *)
+  | R1  (** wall-clock reads inside simulation code *)
+  | R2  (** ambient [Random.*] instead of the seeded splittable PRNG *)
+  | R3  (** [Hashtbl.iter]/[fold] where iteration order can leak *)
+  | R4  (** top-level mutable state reachable from pool workers *)
+  | R5  (** direct stdout printing outside the report layer *)
+  | R6  (** [lib/] module without an [.mli] interface *)
+
+val all : id list
+(** The lintable rules, [R1]..[R6] (excludes [Parse]). *)
+
+val id_to_string : id -> string
+val id_of_string : string -> id option
+(** Case-insensitive; accepts ["R3"], ["r3"], ["parse"]. *)
+
+val severity_to_string : severity -> string
+
+val title : id -> string
+(** Short headline, e.g. ["no wall-clock reads in simulation code"]. *)
+
+val hazard : id -> string
+(** One-line statement of the bug class the rule prevents. *)
+
+type violation = {
+  rule : id;
+  severity : severity;
+  file : string;  (** root-relative, ['/']-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler locations *)
+  message : string;
+}
+
+val compare_violation : violation -> violation -> int
+(** Total order by (file, line, col, rule, message): the order every
+    report is emitted in, so output never depends on scan order. *)

@@ -1,0 +1,13 @@
+let keys_by ~cmp t =
+  (* mklint: allow R3 — this is the sorted-keys helper itself; the
+     fold's order is erased by the sort_uniq below. *)
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort_uniq cmp
+
+let keys t = keys_by ~cmp:compare t
+
+let bindings_by ~cmp t =
+  (* [Hashtbl.find] returns the most recent binding, so duplicate
+     [add]s cannot leak internal bucket order here. *)
+  List.map (fun k -> (k, Hashtbl.find t k)) (keys_by ~cmp t)
+
+let bindings t = bindings_by ~cmp:compare t

@@ -1,0 +1,23 @@
+(** Deterministic views of hash tables.
+
+    [Hashtbl] iteration order is unspecified: it depends on the hash
+    function, the insertion history and the internal resize schedule.
+    Any code path whose bytes reach a report, a results file or a
+    serialized snapshot must therefore never consume [Hashtbl.iter] or
+    [Hashtbl.fold] directly — mklint rule R3 flags exactly that.  This
+    module is the sanctioned escape hatch: it materialises a table as
+    an association list sorted by key, so the same table contents
+    always yield the same sequence regardless of how they were
+    inserted. *)
+
+val keys : ('k, _) Hashtbl.t -> 'k list
+(** All distinct keys, sorted by polymorphic [compare]. *)
+
+val bindings : ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** Key-sorted association list.  For keys bound several times (via
+    [Hashtbl.add]) only the most recent binding is returned, matching
+    what [Hashtbl.find] observes. *)
+
+val bindings_by : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** [bindings] under a caller-supplied key order (e.g. a domain-aware
+    comparison where polymorphic compare would be wrong). *)

@@ -1,0 +1,83 @@
+type entry = { rules : Rule.id list; first : int; last : int; whole_file : bool }
+type t = entry list
+
+let marker = "mklint:"
+
+(* Tokens after "mklint:" up to the first word that is not a rule id;
+   "allow R3 R4 — reason" yields (false, [R3; R4]). *)
+let parse_directive rest =
+  let words =
+    String.split_on_char ' ' rest
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | kind :: rest when kind = "allow" || kind = "allow-file" ->
+      let rec take acc = function
+        | w :: tl -> (
+            match Rule.id_of_string w with
+            | Some r -> take (r :: acc) tl
+            | None -> List.rev acc)
+        | [] -> List.rev acc
+      in
+      let rules = take [] rest in
+      if rules = [] then None else Some (kind = "allow-file", rules)
+  | _ -> None
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* A directive covers its comment through the line after the comment
+   terminator, so a justification wrapped over several lines still
+   reaches the construct beneath it. *)
+let close_line lines i at =
+  let n = Array.length lines in
+  let rec go j from =
+    if j >= n || j > i + 50 then i
+    else
+      match find_sub (String.sub lines.(j) from (String.length lines.(j) - from)) "*)" with
+      | Some _ -> j
+      | None -> go (j + 1) 0
+  in
+  go i at
+
+let scan contents =
+  let lines = Array.of_list (String.split_on_char '\n' contents) in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match find_sub line marker with
+         | None -> []
+         | Some at -> (
+             let rest =
+               String.sub line
+                 (at + String.length marker)
+                 (String.length line - at - String.length marker)
+             in
+             match parse_directive rest with
+             | None -> []
+             | Some (whole_file, rules) ->
+                 [
+                   {
+                     rules;
+                     first = i + 1;
+                     last = close_line lines i (at + String.length marker) + 2;
+                     whole_file;
+                   };
+                 ]))
+       (Array.to_list lines))
+
+let allows t ~rule ~line =
+  List.exists
+    (fun e ->
+      List.mem rule e.rules
+      && (e.whole_file || (line >= e.first && line <= e.last)))
+    t
+
+let count t = List.length t

@@ -1,0 +1,29 @@
+(** Inline suppression comments.
+
+    A finding can be acknowledged in place when the flagged construct
+    is deliberate and safe:
+
+    {v
+    (* mklint: allow R3 — order-independent fold (sums a counter) *)
+    Hashtbl.fold (fun _ ch acc -> acc + ch.messages) t.channels 0
+    v}
+
+    [allow RULES...] covers the comment (however many lines it spans)
+    plus the line after its terminator, so it can sit above the
+    construct or share its line.  [allow-file
+    RULES...] covers the whole file (for e.g. a module that *is* the
+    designated PRNG or report layer).  Several rule ids may follow one
+    [allow]; everything after the rule ids is the human justification
+    and is ignored by the scanner — by convention it is mandatory. *)
+
+type t
+
+val scan : string -> t
+(** Extract suppressions from a file's full contents.  The scan is
+    line-based on the [mklint:] marker, so it also sees markers in
+    nested or multi-line comments. *)
+
+val allows : t -> rule:Rule.id -> line:int -> bool
+
+val count : t -> int
+(** Number of [allow]/[allow-file] markers found (for reporting). *)

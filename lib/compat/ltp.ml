@@ -120,8 +120,12 @@ let corpus =
       (fun (s, c) ->
         Hashtbl.replace tbl s (c :: Option.value (Hashtbl.find_opt tbl s) ~default:[]))
       (List.rev (mckernel_fail_corners @ mos_fail_corners));
-    (* Deduplicate (move_pages/brk/ptrace corners appear in both lists). *)
-    Hashtbl.iter (fun s cs -> Hashtbl.replace tbl s (List.sort_uniq compare cs)) tbl;
+    (* Deduplicate (move_pages/brk/ptrace corners appear in both
+       lists).  Mutating a table while Hashtbl.iter walks it is
+       unspecified behaviour, so rewrite from a sorted snapshot. *)
+    List.iter
+      (fun (s, cs) -> Hashtbl.replace tbl s (List.sort_uniq compare cs))
+      (Mk_analysis.Sorted.bindings tbl);
     tbl
   in
   let forky = List.filter forky_class (List.map fst quota) in
@@ -202,5 +206,8 @@ let failures_by_cause summary =
       Hashtbl.replace tbl reason
         (1 + Option.value (Hashtbl.find_opt tbl reason) ~default:0))
     summary.failures;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  (* Sorted before the (stable) count sort: causes with equal counts
+     tie-break alphabetically instead of by hash-bucket order, which
+     would otherwise leak into the rendered tables. *)
+  Mk_analysis.Sorted.bindings tbl
+  |> List.stable_sort (fun (_, a) (_, b) -> compare b a)

@@ -13,6 +13,7 @@ module Apps = Mk_apps
 module Cluster = Mk_cluster
 module Compat = Mk_compat
 module Fault = Mk_fault
+module Analysis = Mk_analysis
 
 let version = "1.0.0"
 

@@ -34,7 +34,9 @@
     - {!Apps}: the eight application models.
     - {!Cluster}: the 2,048-node experiment driver.
     - {!Compat}: the LTP-like compatibility corpus.
-    - {!Fault}: deterministic fault injection (docs/FAULTS.md). *)
+    - {!Fault}: deterministic fault injection (docs/FAULTS.md).
+    - {!Analysis}: determinism helpers shared with the mklint static
+      checker (docs/STATIC_ANALYSIS.md), e.g. sorted hash-table views. *)
 
 module Engine = Mk_engine
 module Hw = Mk_hw
@@ -51,6 +53,7 @@ module Apps = Mk_apps
 module Cluster = Mk_cluster
 module Compat = Mk_compat
 module Fault = Mk_fault
+module Analysis = Mk_analysis
 
 val version : string
 

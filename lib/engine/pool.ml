@@ -39,6 +39,8 @@ type gc_tuning = { minor_heap_words : int; space_overhead : int }
 let default_gc_tuning =
   { minor_heap_words = 4 * 1024 * 1024; space_overhead = 120 }
 
+(* mklint: allow R4 — written only from the main domain before any
+   worker exists (workers read it once, at domain startup). *)
 let worker_gc_tuning = ref (Some default_gc_tuning)
 let set_worker_gc_tuning t = worker_gc_tuning := t
 
@@ -158,6 +160,9 @@ let submit pool job =
 (* ------------------------------------------------------------------ *)
 (* Process-wide default, configured by the CLI's -j/--jobs flag.       *)
 
+(* mklint: allow-file R4 — these three cells are the process-wide -j
+   singleton itself: mutated only by the main domain (CLI setup and
+   at_exit teardown), never from inside submitted jobs. *)
 let default_jobs_setting = ref 1
 let default_pool : t option ref = ref None
 let at_exit_registered = ref false

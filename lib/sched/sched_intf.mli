@@ -1,0 +1,30 @@
+(** Scheduler interface shared by the Linux-like and LWK policies.
+
+    A scheduler owns one run queue (the node model instantiates one
+    per core).  [timeslice] distinguishes the two worlds: the CFS
+    model preempts, the LWK round-robin scheduler is "non-preemptive,
+    co-operative … their primary purpose is to stay out of the way of
+    applications" (Section II-D2). *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val name : t -> string
+
+  val enqueue : t -> Mk_proc.Task.t -> unit
+  (** Add a runnable task to the queue. *)
+
+  val pick : t -> Mk_proc.Task.t option
+  (** Remove and return the next task to run. *)
+
+  val requeue : t -> Mk_proc.Task.t -> ran:Mk_engine.Units.time -> unit
+  (** Put a task back after it ran for [ran] (yield or preemption). *)
+
+  val queued : t -> int
+
+  val timeslice : t -> runnable:int -> Mk_engine.Units.time option
+  (** Maximum slice before forced preemption; [None] = cooperative. *)
+
+  val context_switch_cost : Mk_engine.Units.time
+end

@@ -1,0 +1,99 @@
+(* mklint — determinism & domain-safety lint for the simulator tree.
+   See docs/STATIC_ANALYSIS.md for the rule catalogue and workflow. *)
+
+let default_baseline = ".mklint-baseline"
+
+let list_rules () =
+  print_string
+    (String.concat ""
+       (List.map
+          (fun r ->
+            Printf.sprintf "%-3s %s\n    hazard: %s\n" (Mk_lint.Rule.id_to_string r)
+              (Mk_lint.Rule.title r) (Mk_lint.Rule.hazard r))
+          Mk_lint.Rule.all))
+
+let run root files baseline_path update_baseline ci json rules =
+  if rules then (list_rules (); 0)
+  else
+    match Mk_lint.Baseline.load (Filename.concat root baseline_path) with
+    | Error e ->
+        prerr_endline ("mklint: " ^ e);
+        2
+    | Ok baseline ->
+        let report =
+          match files with
+          | [] -> Mk_lint.Lint.lint_tree ~root ~baseline ()
+          | files -> Mk_lint.Lint.lint_files ~root ~baseline files
+        in
+        if update_baseline then begin
+          let entries = Mk_lint.Lint.errors report in
+          Out_channel.with_open_bin (Filename.concat root baseline_path)
+            (fun oc ->
+              Out_channel.output_string oc (Mk_lint.Baseline.render entries));
+          Printf.eprintf "mklint: baselined %d findings into %s\n"
+            (List.length entries) baseline_path;
+          0
+        end
+        else begin
+          if json then
+            print_endline
+              (Mk_engine.Json.to_string_pretty (Mk_lint.Lint.to_json report))
+          else print_string (Mk_lint.Lint.render report);
+          if ci && Mk_lint.Lint.errors report <> [] then 1 else 0
+        end
+
+open Cmdliner
+
+let root =
+  Arg.(
+    value
+    & opt dir "."
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:"Project root; scanned paths and the baseline are relative to it.")
+
+let files =
+  Arg.(
+    value
+    & pos_all string []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Root-relative .ml/.mli files to lint; with none given the whole \
+           tree (bench/ bin/ lib/ tools/) is scanned.")
+
+let baseline =
+  Arg.(
+    value
+    & opt string default_baseline
+    & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline file (root-relative).")
+
+let update_baseline =
+  Arg.(
+    value & flag
+    & info [ "update-baseline" ]
+        ~doc:"Rewrite the baseline to tolerate every current active error.")
+
+let ci =
+  Arg.(
+    value & flag
+    & info [ "ci" ]
+        ~doc:
+          "Gate mode: exit 1 when any error-severity finding is neither \
+           suppressed inline nor baselined.")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the machine-readable mklint/1 JSON report.")
+
+let rules =
+  Arg.(
+    value & flag & info [ "rules" ] ~doc:"List the rule catalogue and exit.")
+
+let cmd =
+  let doc = "determinism & domain-safety static analysis for the simulator" in
+  Cmd.v
+    (Cmd.info "mklint" ~doc)
+    Term.(
+      const run $ root $ files $ baseline $ update_baseline $ ci $ json $ rules)
+
+let () = exit (Cmd.eval' cmd)
