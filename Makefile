@@ -1,5 +1,5 @@
 # Convenience aliases around dune; ci.sh remains the authoritative gate.
-.PHONY: build test lint lint-json doc ci
+.PHONY: build test lint lint-json doc ci trace-smoke
 
 build:
 	dune build
@@ -15,6 +15,17 @@ lint-json:
 
 doc:
 	dune build @doc
+
+# The observability determinism gate from ci.sh, standalone: one traced
+# comparison twice (sequential, -j 2), byte-compared and JSON-checked.
+trace-smoke:
+	mkdir -p bench/results
+	dune exec simos -- trace --app minife --nodes 4 --runs 2 --seed 42 \
+	  --jobs 1 -o bench/results/trace-smoke-seq.json >/dev/null
+	dune exec simos -- trace --app minife --nodes 4 --runs 2 --seed 42 \
+	  --jobs 2 -o bench/results/trace-smoke-par.json >/dev/null
+	cmp bench/results/trace-smoke-seq.json bench/results/trace-smoke-par.json
+	dune exec bench/main.exe -- check-json bench/results/trace-smoke-seq.json
 
 ci:
 	./ci.sh

@@ -53,27 +53,82 @@ let ( let* ) r f =
   match r with Ok v -> f v | Error m -> `Error (false, m)
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing (--trace / --metrics)                        *)
+
+let trace_path_arg =
+  let doc =
+    "Write a Perfetto-loadable Chrome trace (JSON) of every simulated run to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let metrics_arg =
+  let doc = "Print the collected metrics after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let make_obs ~trace_path ~metrics =
+  if trace_path = None && not metrics then None
+  else Some (Obs.Collect.create ~trace:(trace_path <> None) ())
+
+let write_trace path c =
+  Engine.Atomic_file.write path
+    (Engine.Json.to_string_pretty (Obs.Collect.trace_json c) ^ "\n");
+  Printf.printf "trace: %s (%d events from %d runs)\n" path
+    (List.length (Obs.Collect.events c))
+    (Obs.Collect.runs c)
+
+let print_metrics c =
+  print_string (Cluster.Report.mechanism_table c);
+  print_newline ();
+  print_string (Cluster.Report.metrics_table c)
+
+(* [print_tables] is false when stdout carries a machine format
+   (JSON/CSV) that must stay parseable. *)
+let flush_obs ~trace_path ~print_tables obs =
+  match obs with
+  | None -> ()
+  | Some c ->
+      if print_tables then print_metrics c;
+      Option.iter (fun path -> write_trace path c) trace_path
+
+(* ------------------------------------------------------------------ *)
 (* simos run                                                           *)
 
 let run_cmd =
-  let action app os nodes seed jobs =
+  let action app os nodes seed jobs trace_path metrics =
     let* app = Cluster.Validate.app app in
     let* scenario = Cluster.Validate.scenario os in
     let* nodes = Cluster.Validate.nodes nodes in
     let* jobs = Cluster.Validate.jobs jobs in
     set_jobs jobs;
-    let r = Cluster.Driver.run ~scenario ~app ~nodes ~seed () in
+    let obs = make_obs ~trace_path ~metrics in
+    let r =
+      match obs with
+      | None -> Cluster.Driver.run ~scenario ~app ~nodes ~seed ()
+      | Some c ->
+          let rcd =
+            Obs.Recorder.make ~trace:(Obs.Collect.trace_enabled c)
+              ~label:scenario.Cluster.Scenario.label ~nodes ~seed ()
+          in
+          let r = Cluster.Driver.run ~obs:rcd ~scenario ~app ~nodes ~seed () in
+          Obs.Collect.add c (Obs.Recorder.snapshot rcd);
+          r
+    in
     Format.printf "%s on %s, %d node(s):@." app.Apps.App.name
       scenario.Cluster.Scenario.label nodes;
     Format.printf "  %a@." Cluster.Driver.pp_result r;
     Format.printf "  figure of merit: %.5g %s@." r.Cluster.Driver.fom
       app.Apps.App.fom_unit;
+    flush_obs ~trace_path ~print_tables:metrics obs;
     `Ok ()
   in
   let doc = "Run one application under one OS at one scale." in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(ret (const action $ app_arg $ os_arg $ nodes_arg $ seed_arg $ jobs_arg))
+    Term.(
+      ret
+        (const action $ app_arg $ os_arg $ nodes_arg $ seed_arg $ jobs_arg
+       $ trace_path_arg $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simos sweep                                                         *)
@@ -120,11 +175,12 @@ let sweep_cmd =
 (* simos suite                                                         *)
 
 let suite_cmd =
-  let action runs seed format jobs =
+  let action runs seed format jobs trace_path metrics =
     let* runs = Cluster.Validate.runs runs in
     let* jobs = Cluster.Validate.jobs jobs in
     set_jobs jobs;
-    let suite = Cluster.Experiment.suite ~runs ~seed () in
+    let obs = make_obs ~trace_path ~metrics in
+    let suite = Cluster.Experiment.suite ?obs ~runs ~seed () in
     (match format with
     | `Table ->
         Printf.printf
@@ -136,9 +192,12 @@ let suite_cmd =
           (fun (app, series) -> print_string (Cluster.Report.csv ~app series))
           suite
     | `Json ->
+        (* --metrics folds into the JSON document itself; stdout must
+           stay a single parseable value. *)
         print_endline
           (Engine.Json.to_string_pretty
-             (Cluster.Report.suite_json ~runs ~seed suite)));
+             (Cluster.Report.suite_json ~runs ~seed ?obs suite)));
+    flush_obs ~trace_path ~print_tables:(metrics && format = `Table) obs;
     `Ok ()
   in
   let doc =
@@ -147,7 +206,10 @@ let suite_cmd =
      statistics.  Use --jobs to fan the sweep out across cores."
   in
   Cmd.v (Cmd.info "suite" ~doc)
-    Term.(ret (const action $ runs_arg $ seed_arg $ format_arg $ jobs_arg))
+    Term.(
+      ret
+        (const action $ runs_arg $ seed_arg $ format_arg $ jobs_arg
+       $ trace_path_arg $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simos ltp                                                           *)
@@ -262,19 +324,24 @@ let fault_format_arg =
     & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
 
 let faults_cmd =
-  let action plan app nodes rates runs seed format jobs =
+  let action plan app nodes rates runs seed format jobs trace_path metrics =
     let* runs = Cluster.Validate.runs runs in
     let* jobs = Cluster.Validate.jobs jobs in
     set_jobs jobs;
+    let obs = make_obs ~trace_path ~metrics in
+    let flush () =
+      flush_obs ~trace_path ~print_tables:(metrics && format = `Table) obs
+    in
     match plan with
     | None ->
-        let demo = Cluster.Degradation.isolation_demo ~runs ~seed () in
+        let demo = Cluster.Degradation.isolation_demo ?obs ~runs ~seed () in
         (match format with
         | `Table -> print_string (Cluster.Degradation.render_demo demo)
         | `Json ->
             print_endline
               (Engine.Json.to_string_pretty
                  (Cluster.Degradation.demo_to_json demo)));
+        flush ();
         `Ok ()
     | Some preset ->
         let* preset = Cluster.Validate.fault_preset preset in
@@ -282,13 +349,14 @@ let faults_cmd =
         let* nodes = Cluster.Validate.nodes nodes in
         let* rates = Cluster.Validate.rates rates in
         let table =
-          Cluster.Degradation.run ~app ~nodes ~preset ~rates ~runs ~seed ()
+          Cluster.Degradation.run ?obs ~app ~nodes ~preset ~rates ~runs ~seed ()
         in
         (match format with
         | `Table -> print_string (Cluster.Degradation.render table)
         | `Json ->
             print_endline
               (Engine.Json.to_string_pretty (Cluster.Degradation.to_json table)));
+        flush ();
         `Ok ()
   in
   let doc =
@@ -302,7 +370,50 @@ let faults_cmd =
     Term.(
       ret
         (const action $ plan_arg $ fault_app_arg $ fault_nodes_arg $ rates_arg
-       $ runs_arg $ seed_arg $ fault_format_arg $ jobs_arg))
+       $ runs_arg $ seed_arg $ fault_format_arg $ jobs_arg $ trace_path_arg
+       $ metrics_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simos trace                                                         *)
+
+let trace_nodes_arg =
+  let doc = "Node count for the traced comparison." in
+  Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let trace_out_arg =
+  let doc = "Output path for the Perfetto trace JSON." in
+  Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+
+let trace_cmd =
+  let action app nodes runs seed jobs out metrics =
+    let* app = Cluster.Validate.app app in
+    let* nodes = Cluster.Validate.nodes nodes in
+    let* runs = Cluster.Validate.runs runs in
+    let* jobs = Cluster.Validate.jobs jobs in
+    set_jobs jobs;
+    let c = Obs.Collect.create ~trace:true () in
+    let series =
+      Cluster.Experiment.compare_scenarios ~obs:c
+        ~scenarios:Cluster.Scenario.trio ~app ~node_counts:[ nodes ] ~runs
+        ~seed ()
+    in
+    print_string (Cluster.Report.fom_table ~app series);
+    if metrics then print_metrics c;
+    write_trace out c;
+    `Ok ()
+  in
+  let doc =
+    "Trace one application under all three kernels at one node count and \
+     write a Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev): \
+     one process per (run, node), spans for setup / iterations / collective \
+     phases on the simulated clock, instants for injected faults.  The file \
+     is byte-identical for every --jobs value."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      ret
+        (const action $ app_arg $ trace_nodes_arg $ runs_arg $ seed_arg
+       $ jobs_arg $ trace_out_arg $ metrics_arg))
 
 let () =
   let doc = "lightweight multi-kernel operating system simulator" in
@@ -311,6 +422,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; sweep_cmd; suite_cmd; faults_cmd; ltp_cmd; node_cmd;
-            apps_cmd; calibration_cmd;
+            run_cmd; sweep_cmd; suite_cmd; faults_cmd; trace_cmd; ltp_cmd;
+            node_cmd; apps_cmd; calibration_cmd;
           ]))

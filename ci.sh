@@ -31,9 +31,24 @@ dune exec bench/main.exe -- check-results
 
 # Hot-path gate: a tiny perf suite (DES events/sec, page-table
 # pages/sec, suite seq vs -j 2).  Fails when -j 2 stops beating
-# sequential — the regression this PR exists to prevent — and
-# round-trips its JSON through the parser.
+# sequential — the regression this PR exists to prevent — round-trips
+# its JSON through the parser, and fails when the disabled
+# observability hooks (sink=Null) cost more than 2%.
 dune exec bench/main.exe -- perf --smoke
+
+# Observability gate (docs/OBSERVABILITY.md): the same traced
+# 4-node comparison run sequentially and under -j 2 must export
+# byte-identical Perfetto traces, and the trace must parse as JSON.
+mkdir -p bench/results
+dune exec simos -- trace --app minife --nodes 4 --runs 2 --seed 42 \
+  --jobs 1 -o bench/results/trace-smoke-seq.json >/dev/null
+dune exec simos -- trace --app minife --nodes 4 --runs 2 --seed 42 \
+  --jobs 2 -o bench/results/trace-smoke-par.json >/dev/null
+cmp bench/results/trace-smoke-seq.json bench/results/trace-smoke-par.json || {
+  echo "ci.sh: traced run diverged between sequential and -j 2" >&2
+  exit 1
+}
+dune exec bench/main.exe -- check-json bench/results/trace-smoke-seq.json
 
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc

@@ -61,12 +61,23 @@ let expected_queries = 7_526
 let expected_grows = 3_028
 let expected_shrinks = 1_499
 
-let count_stats ops =
-  List.fold_left
-    (fun (q, g, s) op ->
+(* The same names {!Mk_mem.Address_space.brk} counts through the
+   ambient hook, so a recorded trace lines up with a simulated run. *)
+let brk_key ~kernel name = Mk_obs.Key.v ~kernel ~subsystem:"mem" ~name ()
+
+let record m ~kernel ops =
+  List.iter
+    (fun op ->
       match op with
-      | Workload.Brk 0 -> (q + 1, g, s)
-      | Workload.Brk d when d > 0 -> (q, g + 1, s)
-      | Workload.Brk _ -> (q, g, s + 1)
-      | _ -> (q, g, s))
-    (0, 0, 0) ops
+      | Workload.Brk 0 -> Mk_obs.Metrics.add m (brk_key ~kernel "brk_queries") 1
+      | Workload.Brk d when d > 0 ->
+          Mk_obs.Metrics.add m (brk_key ~kernel "brk_grows") 1
+      | Workload.Brk _ -> Mk_obs.Metrics.add m (brk_key ~kernel "brk_shrinks") 1
+      | _ -> ())
+    ops
+
+let count_stats ops =
+  let m = Mk_obs.Metrics.create () in
+  record m ~kernel:"trace" ops;
+  let c name = Mk_obs.Metrics.counter m (brk_key ~kernel:"trace" name) in
+  (c "brk_queries", c "brk_grows", c "brk_shrinks")

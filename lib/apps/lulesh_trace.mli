@@ -36,5 +36,12 @@ val expected_grows : int
 val expected_shrinks : int
 (** 1,499 *)
 
+val record : Mk_obs.Metrics.t -> kernel:string -> Mk_kernel.Workload.op list -> unit
+(** Count a trace's brk traffic into a metrics registry, under the
+    same [mem/brk_queries]/[brk_grows]/[brk_shrinks] names the
+    simulator's own hook sites use — so a static trace and a live run
+    land in comparable keys. *)
+
 val count_stats : Mk_kernel.Workload.op list -> int * int * int
-(** (queries, grows, shrinks) in a trace. *)
+(** (queries, grows, shrinks) in a trace; a {!record} into a scratch
+    registry, read back. *)

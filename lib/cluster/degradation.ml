@@ -34,7 +34,7 @@ let plan_for ~preset ~rate ~app ~nodes ~seed =
       Mk_fault.Plan.generate ~spec ~nodes ~iterations:(sim_iterations app)
         ~seed:(seed + 7919)
 
-let run ?pool ?(scenarios = Scenario.trio) ~app ~nodes ~preset
+let run ?pool ?obs ?(scenarios = Scenario.trio) ~app ~nodes ~preset
     ?(rates = default_rates) ?(runs = Experiment.default_runs) ?(seed = 42) () =
   (* Fail on a bad preset before any simulation runs. *)
   List.iter
@@ -52,15 +52,41 @@ let run ?pool ?(scenarios = Scenario.trio) ~app ~nodes ~preset
          scenarios)
   in
   let cell_results =
-    Pool.parallel_map ?pool
-      (fun (i, scenario, rate) ->
-        let faults =
-          Option.map
-            (fun rate -> plan_for ~preset ~rate ~app ~nodes ~seed)
-            rate
+    match obs with
+    | None ->
+        Pool.parallel_map ?pool
+          (fun (i, scenario, rate) ->
+            let faults =
+              Option.map
+                (fun rate -> plan_for ~preset ~rate ~app ~nodes ~seed)
+                rate
+            in
+            (i, rate, Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ()))
+          cells
+    | Some c ->
+        (* Workers hand their snapshots back with the cell; the
+           collector absorbs them here, in cell input order, after
+           the barrier. *)
+        let trace = Mk_obs.Collect.trace_enabled c in
+        let outs =
+          Pool.parallel_map ?pool
+            (fun (i, scenario, rate) ->
+              let faults =
+                Option.map
+                  (fun rate -> plan_for ~preset ~rate ~app ~nodes ~seed)
+                  rate
+              in
+              let p, snaps =
+                Experiment.point_traced ?pool ?faults ~trace ~scenario ~app
+                  ~nodes ~runs ~seed ()
+              in
+              (i, rate, p, snaps))
+            cells
         in
-        (i, rate, Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ()))
-      cells
+        List.iter
+          (fun (_, _, _, snaps) -> List.iter (Mk_obs.Collect.add c) snaps)
+          outs;
+        List.map (fun (i, rate, p, _) -> (i, rate, p)) outs
   in
   let rows =
     List.mapi
@@ -196,7 +222,7 @@ let demo_row ~label ~(healthy : Experiment.point) ~(faulted : Experiment.point) 
        else 0.0);
   }
 
-let isolation_demo ?pool ?(runs = Experiment.default_runs) ?(seed = 42) () =
+let isolation_demo ?pool ?obs ?(runs = Experiment.default_runs) ?(seed = 42) () =
   let hpcg = Mk_apps.Hpcg.app and lammps = Mk_apps.Lammps.app
   and minife = Mk_apps.Minife.app in
   let hang_64 = Mk_fault.Plan.daemon_hang_demo ~nodes:64 in
@@ -218,10 +244,23 @@ let isolation_demo ?pool ?(runs = Experiment.default_runs) ?(seed = 42) () =
       ]
   in
   let results =
-    Pool.parallel_map ?pool
-      (fun (_, scenario, app, nodes, faults) ->
-        Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ())
-      cells
+    match obs with
+    | None ->
+        Pool.parallel_map ?pool
+          (fun (_, scenario, app, nodes, faults) ->
+            Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ())
+          cells
+    | Some c ->
+        let trace = Mk_obs.Collect.trace_enabled c in
+        let outs =
+          Pool.parallel_map ?pool
+            (fun (_, scenario, app, nodes, faults) ->
+              Experiment.point_traced ?pool ?faults ~trace ~scenario ~app
+                ~nodes ~runs ~seed ())
+            cells
+        in
+        List.iter (fun (_, snaps) -> List.iter (Mk_obs.Collect.add c) snaps) outs;
+        List.map fst outs
   in
   let tagged = List.combine (List.map (fun (l, _, _, _, p) -> (l, p)) cells) results in
   let find label faulted =

@@ -33,6 +33,7 @@ val default_rates : float list
 
 val run :
   ?pool:Mk_engine.Pool.t ->
+  ?obs:Mk_obs.Collect.t ->
   ?scenarios:Scenario.t list ->
   app:Mk_apps.App.t ->
   nodes:int ->
@@ -74,7 +75,12 @@ type demo = {
 }
 
 val isolation_demo :
-  ?pool:Mk_engine.Pool.t -> ?runs:int -> ?seed:int -> unit -> demo
+  ?pool:Mk_engine.Pool.t ->
+  ?obs:Mk_obs.Collect.t ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  demo
 
 val render_demo : demo -> string
 val demo_to_json : demo -> Mk_engine.Json.t

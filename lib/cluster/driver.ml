@@ -169,6 +169,7 @@ let halo_control_cost os ~ranks_per_node ~msgs_per_node ~controls =
         in
         let linux_cores = max 1 (List.length os.Mk_kernel.Os.os_cores) in
         let queue = msgs_per_node * service / linux_cores in
+        Mk_obs.Hook.gauge ~subsystem:"ikc" ~name:"proxy_queue_ns" queue;
         max serial queue
   end
 
@@ -235,15 +236,22 @@ let halo_control_cost_faulty os st ~node ~ranks_per_node ~msgs_per_node
             (List.length os.Mk_kernel.Os.os_cores - if target_lost then 1 else 0)
         in
         let queue = msgs_per_node * (service + per_offload_extra) / linux_cores in
+        Mk_obs.Hook.gauge ~subsystem:"ikc" ~name:"proxy_queue_ns" queue;
         max serial queue
   end
 
 (* ------------------------------------------------------------------ *)
 (* Main run                                                            *)
 
-let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
-    ~nodes ~seed () =
+let with_obs obs f = match obs with None -> () | Some r -> f r
+
+let run_body ?eager_threshold ?faults ~obs ~(scenario : Scenario.t)
+    ~(app : Mk_apps.App.t) ~nodes ~seed () =
   if nodes <= 0 then invalid_arg "Driver.run: nodes must be positive";
+  (* Attribution cursor: Tier-1 pricing (memory, heap traces, IKC,
+     scheduling) executes on the representative node and is charged
+     to node 0. *)
+  with_obs obs (fun r -> Mk_obs.Recorder.set_node r 0);
   let fstate =
     match faults with
     | None -> None
@@ -287,6 +295,9 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
     | Some trace -> replay_trace (trace ~nodes ~iteration:(-1))
   in
   let setup_time = setup_mem + shm_setup + trace_setup in
+  with_obs obs (fun r ->
+      Mk_obs.Recorder.span r ~ts:0 ~dur:setup_time ~node:0 ~tid:0 ~cat:"phase"
+        ~name:"setup" ());
 
   (* --- Static per-iteration pieces --------------------------------- *)
   let phases = app.Mk_apps.App.iteration ~nodes in
@@ -394,9 +405,20 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
   let iter_durations =
     Scratch.int_array ~tag:"driver.iter_durations" ~len:sim_iters ~init:0
   in
+  (* Per-node iteration-start clocks, kept only when tracing: spans
+     need a start timestamp per node. *)
+  let iter_snap =
+    match obs with
+    | Some r when Mk_obs.Recorder.tracing r -> Some (Array.make nodes 0)
+    | _ -> None
+  in
   let prev_sync = ref (Units.us) in
   for iter = 0 to sim_iters - 1 do
     let start = max_alive clocks in
+    with_obs obs (fun r -> Mk_obs.Recorder.set_node r 0);
+    (match iter_snap with
+    | Some a -> Array.blit clocks 0 a 0 nodes
+    | None -> ());
     (* Unfold the fault plan for this iteration. *)
     (match fstate with
     | None -> ()
@@ -413,6 +435,12 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
         | [] -> ()
         | crashed ->
             recoveries := !recoveries + List.length crashed;
+            with_obs obs (fun r ->
+                List.iter
+                  (fun n ->
+                    Mk_obs.Recorder.instant r ~ts:start ~node:n ~tid:0
+                      ~cat:"fault" ~name:"node-crash" ())
+                  crashed);
             if nodes > 1 then begin
               let detect =
                 List.length crashed * Mk_fault.Retry.give_up_time mpi_policy
@@ -434,6 +462,9 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
               if Mk_fault.State.is_alive st n && Mk_fault.State.proxy_down st n
               then begin
                 recoveries := !recoveries + 1;
+                with_obs obs (fun r ->
+                    Mk_obs.Recorder.instant r ~ts:c ~node:n ~tid:0 ~cat:"fault"
+                      ~name:"proxy-respawn" ());
                 clocks.(n) <-
                   c
                   + Mk_fault.Retry.give_up_time os.Mk_kernel.Os.resilience
@@ -475,17 +506,28 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
     let apply_sync sync =
       (* Advance every node through its compute window plus its
          sampled straggler delay, then synchronise. *)
+      let max_skew = ref (-1) and straggler = ref (-1) in
       Array.iteri
         (fun n c ->
           if node_alive n then begin
+            with_obs obs (fun r -> Mk_obs.Recorder.set_node r n);
             let w = scaled n window in
             let skew =
               Mk_noise.Injector.max_delay profile node_rngs.(n)
                 ~dur:(w + !prev_sync) ~ranks:stragglers
             in
+            if skew > !max_skew then begin
+              max_skew := skew;
+              straggler := n
+            end;
             clocks.(n) <- c + w + skew
           end)
         clocks;
+      with_obs obs (fun r ->
+          Mk_obs.Recorder.set_node r 0;
+          if !max_skew > 0 then
+            Mk_obs.Recorder.count_node r ~node:!straggler ~subsystem:"mpi"
+              ~name:"straggler" 1);
       let before = max_alive clocks in
       (match (renvs, fstate) with
       | None, _ | _, None -> (
@@ -518,14 +560,24 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
                             ~msgs_per_node ~controls)
                   clocks
               end));
-      sync_cost_acc := !sync_cost_acc + (max_alive clocks - before)
+      let sync_cost = max_alive clocks - before in
+      with_obs obs (fun r ->
+          let name =
+            match sync with `Allreduce _ -> "allreduce" | `Halo _ -> "halo"
+          in
+          Mk_obs.Recorder.observe r ~subsystem:"mpi" ~name:(name ^ "_ns")
+            sync_cost;
+          Mk_obs.Recorder.span r ~ts:before ~dur:sync_cost ~node:0 ~tid:1
+            ~cat:"mpi" ~name ());
+      sync_cost_acc := !sync_cost_acc + sync_cost
     in
     List.iter apply_sync syncs;
-    if syncs = [] then
+    if syncs = [] then begin
       (* No synchronisation: pure per-node progress. *)
       Array.iteri
         (fun n c ->
           if node_alive n then begin
+            with_obs obs (fun r -> Mk_obs.Recorder.set_node r n);
             let w = scaled n window in
             let skew =
               Mk_noise.Injector.max_delay profile node_rngs.(n) ~dur:w
@@ -534,6 +586,8 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
             clocks.(n) <- c + w + skew
           end)
         clocks;
+      with_obs obs (fun r -> Mk_obs.Recorder.set_node r 0)
+    end;
     (* Remainder of the compute that integer division dropped. *)
     let remainder = compute - (window * nsync) in
     if remainder > 0 then
@@ -541,6 +595,16 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
         (fun n c -> if node_alive n then clocks.(n) <- c + scaled n remainder)
         clocks;
     prev_sync := !sync_cost_acc / nsync;
+    (match (iter_snap, obs) with
+    | Some a, Some r ->
+        let name = "iter " ^ string_of_int iter in
+        for n = 0 to nodes - 1 do
+          let dur = clocks.(n) - a.(n) in
+          if dur > 0 then
+            Mk_obs.Recorder.span r ~ts:a.(n) ~dur ~node:n ~tid:0 ~cat:"iter"
+              ~name ()
+        done
+    | _ -> ());
     iter_durations.(iter) <- max_alive clocks - start
   done;
 
@@ -587,6 +651,17 @@ let run ?eager_threshold ?faults ~(scenario : Scenario.t) ~(app : Mk_apps.App.t)
       (match fstate with None -> 0 | Some st -> Mk_fault.State.dead_count st);
     recoveries = !recoveries;
   }
+
+let run ?eager_threshold ?faults ?obs ~scenario ~app ~nodes ~seed () =
+  match obs with
+  | None ->
+      run_body ?eager_threshold ?faults ~obs:None ~scenario ~app ~nodes ~seed ()
+  | Some r ->
+      (* Install the recorder in the domain-local hook slot so the
+         Tier-1 layers (mem, ikc, noise, fault, mpi, sched) reach it
+         without threading it through their APIs. *)
+      Mk_obs.Hook.with_recorder r (fun () ->
+          run_body ?eager_threshold ?faults ~obs ~scenario ~app ~nodes ~seed ())
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -47,6 +47,7 @@ type result = {
 val run :
   ?eager_threshold:int ->
   ?faults:Mk_fault.Plan.t ->
+  ?obs:Mk_obs.Recorder.t ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   nodes:int ->
@@ -63,6 +64,12 @@ val run :
     fault layer is zero-cost when off.  Dead nodes' clocks freeze;
     collectives route around them ({!Mk_mpi.Resilient}); survivors
     pay detection, retry and respawn costs under the kernel's
-    {!Mk_fault.Retry.policy}. *)
+    {!Mk_fault.Retry.policy}.
+
+    [obs] installs a {!Mk_obs.Recorder} for the run's duration: every
+    instrumented layer counts into it (via {!Mk_obs.Hook}) and, when
+    the recorder traces, the driver emits setup/iteration/sync spans
+    and fault instants on the simulated clock.  Omitting it leaves
+    the Null sink in place — the zero-cost default. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -10,14 +10,7 @@ type series = { scenario_label : string; points : point list }
 
 let default_runs = 5
 
-let point ?pool ?faults ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42)
-    () =
-  if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
-  let results =
-    Mk_engine.Pool.parallel_map ?pool
-      (fun i -> Driver.run ?faults ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
-      (List.init runs Fun.id)
-  in
+let summarise ~nodes results =
   let sorted =
     List.sort (fun (a : Driver.result) b -> compare a.Driver.fom b.Driver.fom) results
   in
@@ -32,17 +25,68 @@ let point ?pool ?faults ~scenario ~app ~nodes ?(runs = default_runs) ?(seed = 42
     median_result;
   }
 
-let sweep ?pool ~scenario ~app ?node_counts ?runs ?seed () =
-  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
-  {
-    scenario_label = scenario.Scenario.label;
-    points =
-      Mk_engine.Pool.parallel_map ?pool
-        (fun nodes -> point ?pool ~scenario ~app ~nodes ?runs ?seed ())
-        counts;
-  }
+let point_traced ?pool ?faults ~trace ~scenario ~app ~nodes
+    ?(runs = default_runs) ?(seed = 42) () =
+  if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
+  let label = scenario.Scenario.label in
+  let outs =
+    Mk_engine.Pool.parallel_map ?pool
+      (fun i ->
+        let seed = seed + (100 * i) in
+        let r = Mk_obs.Recorder.make ~trace ~label ~nodes ~seed () in
+        let result = Driver.run ?faults ~obs:r ~scenario ~app ~nodes ~seed () in
+        (result, Mk_obs.Recorder.snapshot r))
+      (List.init runs Fun.id)
+  in
+  (summarise ~nodes (List.map fst outs), List.map snd outs)
 
-let compare_scenarios ?pool ~scenarios ~app ?node_counts ?runs ?seed () =
+let point ?pool ?faults ?obs ~scenario ~app ~nodes ?(runs = default_runs)
+    ?(seed = 42) () =
+  match obs with
+  | None ->
+      (* No recorder is even allocated: the Driver keeps the Null
+         sink installed — the pre-observability fast path. *)
+      if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
+      let results =
+        Mk_engine.Pool.parallel_map ?pool
+          (fun i ->
+            Driver.run ?faults ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
+          (List.init runs Fun.id)
+      in
+      summarise ~nodes results
+  | Some c ->
+      let p, snaps =
+        point_traced ?pool ?faults ~trace:(Mk_obs.Collect.trace_enabled c)
+          ~scenario ~app ~nodes ~runs ~seed ()
+      in
+      (* Absorb in run order, after the fan-out barrier: each run
+         recorded into its own recorder, so merging here — never in a
+         worker — keeps parallel output bit-identical to sequential. *)
+      List.iter (Mk_obs.Collect.add c) snaps;
+      p
+
+let sweep ?pool ?obs ~scenario ~app ?node_counts ?runs ?seed () =
+  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
+  let points =
+    match obs with
+    | None ->
+        Mk_engine.Pool.parallel_map ?pool
+          (fun nodes -> point ?pool ~scenario ~app ~nodes ?runs ?seed ())
+          counts
+    | Some c ->
+        let trace = Mk_obs.Collect.trace_enabled c in
+        let outs =
+          Mk_engine.Pool.parallel_map ?pool
+            (fun nodes ->
+              point_traced ?pool ~trace ~scenario ~app ~nodes ?runs ?seed ())
+            counts
+        in
+        List.iter (fun (_, snaps) -> List.iter (Mk_obs.Collect.add c) snaps) outs;
+        List.map fst outs
+  in
+  { scenario_label = scenario.Scenario.label; points }
+
+let compare_scenarios ?pool ?obs ~scenarios ~app ?node_counts ?runs ?seed () =
   let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
   (* Fan every (scenario × node count) cell out as one job — a single
      flat batch keeps all workers busy even when scenarios and node
@@ -54,19 +98,37 @@ let compare_scenarios ?pool ~scenarios ~app ?node_counts ?runs ?seed () =
          (fun i scenario -> List.map (fun nodes -> (i, scenario, nodes)) counts)
          scenarios)
   in
-  let cell_points =
-    Mk_engine.Pool.parallel_map ?pool
-      (fun (i, scenario, nodes) ->
-        (i, point ?pool ~scenario ~app ~nodes ?runs ?seed ()))
-      cells
+  let regroup cell_points =
+    List.mapi
+      (fun i (scenario : Scenario.t) ->
+        {
+          scenario_label = scenario.Scenario.label;
+          points = List.filter_map (fun (j, p) -> if j = i then Some p else None) cell_points;
+        })
+      scenarios
   in
-  List.mapi
-    (fun i (scenario : Scenario.t) ->
-      {
-        scenario_label = scenario.Scenario.label;
-        points = List.filter_map (fun (j, p) -> if j = i then Some p else None) cell_points;
-      })
-    scenarios
+  match obs with
+  | None ->
+      regroup
+        (Mk_engine.Pool.parallel_map ?pool
+           (fun (i, scenario, nodes) ->
+             (i, point ?pool ~scenario ~app ~nodes ?runs ?seed ()))
+           cells)
+  | Some c ->
+      (* Workers never touch [c]: snapshots travel back with their
+         cell and are absorbed here in cell input order, exactly the
+         order a sequential execution would have produced. *)
+      let trace = Mk_obs.Collect.trace_enabled c in
+      let cell_out =
+        Mk_engine.Pool.parallel_map ?pool
+          (fun (i, scenario, nodes) ->
+            (i, point_traced ?pool ~trace ~scenario ~app ~nodes ?runs ?seed ()))
+          cells
+      in
+      List.iter
+        (fun (_, (_, snaps)) -> List.iter (Mk_obs.Collect.add c) snaps)
+        cell_out;
+      regroup (List.map (fun (i, (p, _)) -> (i, p)) cell_out)
 
 let relative_to ~baseline series =
   List.filter_map
@@ -86,10 +148,10 @@ let best_improvement ratio_lists =
     neg_infinity
     (List.concat ratio_lists)
 
-let suite ?pool ?(apps = Mk_apps.Registry.all) ?node_counts ?runs ?seed () =
+let suite ?pool ?obs ?(apps = Mk_apps.Registry.all) ?node_counts ?runs ?seed () =
   List.map
     (fun app ->
       ( app,
-        compare_scenarios ?pool ~scenarios:Scenario.trio ~app ?node_counts
+        compare_scenarios ?pool ?obs ~scenarios:Scenario.trio ~app ?node_counts
           ?runs ?seed () ))
     apps

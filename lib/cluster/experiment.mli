@@ -30,6 +30,7 @@ val default_runs : int
 val point :
   ?pool:Mk_engine.Pool.t ->
   ?faults:Mk_fault.Plan.t ->
+  ?obs:Mk_obs.Collect.t ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   nodes:int ->
@@ -40,10 +41,34 @@ val point :
 (** One cell: [runs] repetitions (seeds [seed], [seed + 100], …)
     fanned out across the pool, reduced to median/min/max.  [faults]
     applies the same fault plan to every repetition, so the medians
-    compare a fixed fault timeline across kernels and seeds. *)
+    compare a fixed fault timeline across kernels and seeds.
+
+    [obs] collects metrics (and, if it was created with [~trace:true],
+    trace events) from every repetition.  Each run records into its
+    own {!Mk_obs.Recorder}; snapshots are absorbed into the collector
+    sequentially in run order after the fan-out returns, so observed
+    output is bit-identical between sequential and [-j N] execution. *)
+
+val point_traced :
+  ?pool:Mk_engine.Pool.t ->
+  ?faults:Mk_fault.Plan.t ->
+  trace:bool ->
+  scenario:Scenario.t ->
+  app:Mk_apps.App.t ->
+  nodes:int ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  point * Mk_obs.Recorder.snapshot list
+(** As {!point} but returning the per-run snapshots instead of
+    absorbing them: shared-state-free, hence safe to call from inside
+    a {!Mk_engine.Pool.parallel_map} worker (as {!Degradation} does).
+    The caller is responsible for absorbing the snapshots — in input
+    order, outside any worker. *)
 
 val sweep :
   ?pool:Mk_engine.Pool.t ->
+  ?obs:Mk_obs.Collect.t ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   ?node_counts:int list ->
@@ -56,6 +81,7 @@ val sweep :
 
 val compare_scenarios :
   ?pool:Mk_engine.Pool.t ->
+  ?obs:Mk_obs.Collect.t ->
   scenarios:Scenario.t list ->
   app:Mk_apps.App.t ->
   ?node_counts:int list ->
@@ -79,6 +105,7 @@ val best_improvement : (int * float) list list -> float
 
 val suite :
   ?pool:Mk_engine.Pool.t ->
+  ?obs:Mk_obs.Collect.t ->
   ?apps:Mk_apps.App.t list ->
   ?node_counts:int list ->
   ?runs:int ->

@@ -238,7 +238,72 @@ let json ~(app : Mk_apps.App.t) series_list =
              series_list) );
     ]
 
-let suite_json ~runs ~seed ?(meta = []) suite =
+(* ------------------------------------------------------------------ *)
+(* Observability views                                                 *)
+
+let metrics_table (c : Mk_obs.Collect.t) =
+  let header = [ "kernel"; "node"; "subsystem"; "name"; "value" ] in
+  let rows =
+    List.map
+      (fun ((k : Mk_obs.Key.t), v) ->
+        [
+          k.Mk_obs.Key.kernel;
+          Mk_obs.Key.node_label k.Mk_obs.Key.node;
+          k.Mk_obs.Key.subsystem;
+          k.Mk_obs.Key.name;
+          Mk_obs.Metrics.value_to_string v;
+        ])
+      (Mk_obs.Collect.bindings c)
+  in
+  Printf.sprintf "metrics (%d runs)\n%s" (Mk_obs.Collect.runs c)
+    (Table.render ~header rows)
+
+(* The counters behind the paper's three mechanisms, summed over
+   nodes and pivoted per kernel: one glance says which kernel paid in
+   page faults, which in proxy round-trips. *)
+let mechanism_counters =
+  [
+    ("mem", "demand_faults");
+    ("mem", "pages_2m");
+    ("mem", "mcdram_spill_bytes");
+    ("ikc", "proxy_roundtrips");
+    ("ikc", "thread_migrations");
+    ("mpi", "allreduce_calls");
+    ("mpi", "halo_calls");
+    ("retry", "attempts");
+    ("sched", "preemptions");
+  ]
+
+let mechanism_table (c : Mk_obs.Collect.t) =
+  let bindings = Mk_obs.Collect.bindings c in
+  let kernels =
+    List.sort_uniq String.compare
+      (List.map (fun ((k : Mk_obs.Key.t), _) -> k.Mk_obs.Key.kernel) bindings)
+  in
+  let total kernel (sub, name) =
+    List.fold_left
+      (fun acc ((k : Mk_obs.Key.t), v) ->
+        if
+          k.Mk_obs.Key.kernel = kernel
+          && k.Mk_obs.Key.subsystem = sub
+          && k.Mk_obs.Key.name = name
+        then acc + (match v with Mk_obs.Metrics.Counter n -> n | _ -> 0)
+        else acc)
+      0 bindings
+  in
+  let header = "counter" :: kernels in
+  let rows =
+    List.map
+      (fun (sub, name) ->
+        (sub ^ "/" ^ name)
+        :: List.map
+             (fun kernel -> string_of_int (total kernel (sub, name)))
+             kernels)
+      mechanism_counters
+  in
+  Table.render ~header rows
+
+let suite_json ~runs ~seed ?(meta = []) ?obs suite =
   let open Mk_engine.Json in
   Obj
     ([
@@ -247,6 +312,9 @@ let suite_json ~runs ~seed ?(meta = []) suite =
        ("seed", Int seed);
      ]
     @ meta
+    @ (match obs with
+      | None -> []
+      | Some c -> [ ("metrics", Mk_obs.Collect.metrics_json c) ])
     @ [
         ( "headline",
           Obj

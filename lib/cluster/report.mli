@@ -46,10 +46,21 @@ val suite_headline :
     (1.0 = parity).  The paper reports a median of 1.09 with a best
     of 3.8 (Section I). *)
 
+val metrics_table : Mk_obs.Collect.t -> string
+(** Every collected metric, one row per [(kernel, node, subsystem,
+    name)] key in {!Mk_obs.Key.compare} order — the deterministic
+    tie-break, not insertion order. *)
+
+val mechanism_table : Mk_obs.Collect.t -> string
+(** The mechanism counters (demand faults, 2M pages, MCDRAM spill,
+    proxy round-trips vs. thread migrations, retries, preemptions)
+    summed over nodes and pivoted per kernel. *)
+
 val suite_json :
   runs:int ->
   seed:int ->
   ?meta:(string * Mk_engine.Json.t) list ->
+  ?obs:Mk_obs.Collect.t ->
   (Mk_apps.App.t * Experiment.series list) list ->
   Mk_engine.Json.t
 (** The bench/results document: schema tag, run parameters, extra

@@ -14,6 +14,7 @@ module Cluster = Mk_cluster
 module Compat = Mk_compat
 module Fault = Mk_fault
 module Analysis = Mk_analysis
+module Obs = Mk_obs
 
 let version = "1.0.0"
 

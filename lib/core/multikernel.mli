@@ -36,7 +36,9 @@
     - {!Compat}: the LTP-like compatibility corpus.
     - {!Fault}: deterministic fault injection (docs/FAULTS.md).
     - {!Analysis}: determinism helpers shared with the mklint static
-      checker (docs/STATIC_ANALYSIS.md), e.g. sorted hash-table views. *)
+      checker (docs/STATIC_ANALYSIS.md), e.g. sorted hash-table views.
+    - {!Obs}: deterministic metrics and tracing with Perfetto export
+      (docs/OBSERVABILITY.md). *)
 
 module Engine = Mk_engine
 module Hw = Mk_hw
@@ -54,6 +56,7 @@ module Cluster = Mk_cluster
 module Compat = Mk_compat
 module Fault = Mk_fault
 module Analysis = Mk_analysis
+module Obs = Mk_obs
 
 val version : string
 

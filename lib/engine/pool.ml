@@ -8,6 +8,11 @@ type t = {
   mutable live_workers : int;
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
+  executed : int array;
+      (* per-executor job counts: slot [i < size] is worker [i], slot
+         [size] is the submitting domain helping during parallel_map.
+         Each slot is written by exactly one domain, without fences —
+         self-profiling only, never part of simulation output. *)
 }
 
 (* Set inside worker bodies so a nested parallel_map (a sweep fanning
@@ -56,7 +61,7 @@ let apply_worker_gc_tuning () =
    [progress] forever.  Instead the first escaping exception poisons
    the pool: pending jobs are dropped, every waiter is woken, and the
    original exception is re-raised from parallel_map/submit. *)
-let worker_loop pool () =
+let worker_loop pool idx () =
   Domain.DLS.set in_worker true;
   apply_worker_gc_tuning ();
   (try
@@ -66,6 +71,7 @@ let worker_loop pool () =
          match Queue.take_opt pool.queue with
          | Some job ->
              Mutex.unlock pool.mutex;
+             pool.executed.(idx) <- pool.executed.(idx) + 1;
              job ();
              next ()
          | None ->
@@ -124,12 +130,18 @@ let create ?(oversubscribe = false) ?num_domains () =
       live_workers = size;
       stopped = false;
       domains = [];
+      executed = Array.make (size + 1) 0;
     }
   in
-  pool.domains <- List.init size (fun _ -> Domain.spawn (worker_loop pool));
+  pool.domains <- List.init size (fun i -> Domain.spawn (worker_loop pool i));
   pool
 
 let size pool = pool.size
+
+let executed_jobs pool = Array.copy pool.executed
+
+let reset_executed pool =
+  Array.fill pool.executed 0 (Array.length pool.executed) 0
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -254,6 +266,7 @@ let parallel_map_on pool f xs =
       match Queue.take_opt pool.queue with
       | Some job ->
           Mutex.unlock pool.mutex;
+          pool.executed.(pool.size) <- pool.executed.(pool.size) + 1;
           (* Raw jobs poison exactly as they would on a worker. *)
           (try job ()
            with e ->

@@ -40,6 +40,19 @@ val create : ?oversubscribe:bool -> ?num_domains:int -> unit -> t
 val size : t -> int
 (** Number of worker domains (after clamping). *)
 
+val executed_jobs : t -> int array
+(** Per-executor job counts since creation (or {!reset_executed}):
+    slot [i < size t] is worker [i], the last slot is the submitting
+    domain helping during {!parallel_map}.  Each slot is written by
+    one domain and read here without synchronisation, so a snapshot
+    taken while a map is in flight may lag by a job or two — this is
+    self-profiling for [bench perf]'s utilisation report, and must
+    never feed simulation output. *)
+
+val reset_executed : t -> unit
+(** Zero the {!executed_jobs} counters.  Call between benchmark
+    phases, not while a map is in flight. *)
+
 val shutdown : t -> unit
 (** Drain the queue, stop the workers and join them.  Idempotent, and
     safe on a poisoned pool (crashed workers have already returned).

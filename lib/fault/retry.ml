@@ -34,6 +34,9 @@ let retry_time p ~failures =
     for retry = 1 to failures - 1 do
       t := !t + backoff_delay p ~retry
     done;
+    Mk_obs.Hook.count ~subsystem:"retry" ~name:"attempts" failures;
+    Mk_obs.Hook.count ~subsystem:"retry" ~name:"backoff_ns"
+      (!t - (failures * p.timeout));
     !t
   end
 

@@ -32,10 +32,24 @@ let make ~plan ~nodes =
     last_iteration = -1;
   }
 
+(* Plain labels for counter names; Plan.pp_kind is a formatter and
+   interpolates factors, which would explode counter cardinality. *)
+let kind_label : Plan.kind -> string = function
+  | Plan.Node_crash -> "node-crash"
+  | Plan.Core_degrade _ -> "core-degrade"
+  | Plan.Link_degrade _ -> "link-degrade"
+  | Plan.Link_flap _ -> "link-flap"
+  | Plan.Nic_stall _ -> "nic-stall"
+  | Plan.Daemon_hang _ -> "daemon-hang"
+  | Plan.Proxy_crash -> "proxy-crash"
+  | Plan.Thread_loss -> "thread-loss"
+
 let apply t (e : Plan.event) =
   let n = e.node in
   if n >= 0 && n < t.nodes then begin
     t.events_applied <- t.events_applied + 1;
+    Mk_obs.Hook.count_node ~node:n ~subsystem:"fault"
+      ~name:("events:" ^ kind_label e.kind) 1;
     match e.kind with
     | Plan.Node_crash ->
         if t.alive.(n) then begin

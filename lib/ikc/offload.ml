@@ -66,4 +66,12 @@ let cost t ~lwk_core ~sysno ?(payload = 128) () =
   t.stats.offloads <- t.stats.offloads + 1;
   t.stats.transport_time <- t.stats.transport_time + tr;
   t.stats.execution_time <- t.stats.execution_time + exec;
+  (* Proxy round-trips vs. thread migrations: the two offload
+     mechanisms Section II-B distinguishes, counted apart so a
+     McKernel-vs-mOS comparison can attribute control-path cost. *)
+  (match t.mechanism with
+  | Proxy _ -> Mk_obs.Hook.count ~subsystem:"ikc" ~name:"proxy_roundtrips" 1
+  | Migration _ ->
+      Mk_obs.Hook.count ~subsystem:"ikc" ~name:"thread_migrations" 1);
+  Mk_obs.Hook.count ~subsystem:"ikc" ~name:"transport_ns" tr;
   tr + exec

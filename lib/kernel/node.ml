@@ -244,10 +244,14 @@ let run_shared_core t ~tasks ~ops_per_task =
             remaining.(i) <- remaining.(i) - slice;
             task.Mk_proc.Task.acct.Mk_proc.Task.context_switches <-
               task.Mk_proc.Task.acct.Mk_proc.Task.context_switches + 1;
+            Mk_obs.Hook.count ~subsystem:"sched" ~name:"context_switches" 1;
             ignore
               (Sim.schedule_after sim ~delay:(slice + S.context_switch_cost)
                  (fun sim ->
-                   if remaining.(i) > 0 then S.requeue sched task ~ran:slice;
+                   if remaining.(i) > 0 then begin
+                     Mk_obs.Hook.count ~subsystem:"sched" ~name:"preemptions" 1;
+                     S.requeue sched task ~ran:slice
+                   end;
                    step sim))
       in
       step sim;

@@ -188,6 +188,12 @@ let alloc_from_domain t vma ~domain ~bytes ~max_page =
                   if fits Page.Large then Page.Large else Page.Small
               | Page.Small -> Page.Small
             in
+            (* 2M mappings (THP promotions on Linux, native large
+               pages on the LWKs) are the mechanism behind the TLB
+               columns of Section IV. *)
+            if page = Page.Large then
+              Mk_obs.Hook.count ~subsystem:"mem" ~name:"pages_2m"
+                (chunk / Page.bytes Page.Large);
             let vaddr = vma.Vma.start + vma.Vma.acct.Vma.backed in
             Vma.record vma ~bytes:chunk ~mcdram:(if mc then chunk else 0) ~page;
             Page_table.map t.page_table ~vaddr ~bytes:chunk ~page;
@@ -200,16 +206,28 @@ let alloc_from_domain t vma ~domain ~bytes ~max_page =
 (* Populate [bytes] of [vma] following [policy]'s candidate order. *)
 let populate t vma ~bytes ~policy ~max_page =
   let candidates = Policy.candidates policy (Phys.numa t.phys) in
-  let rec go remaining = function
-    | [] -> bytes - remaining
+  (* When the policy's first choice is MCDRAM, bytes obtained from any
+     DDR4 domain are spill — the pressure effect the MCDRAM columns
+     of Section IV attribute cost to. *)
+  let prefer_mc =
+    match candidates with d :: _ -> is_mcdram t d | [] -> false
+  in
+  let rec go remaining spilled = function
+    | [] -> (bytes - remaining, spilled)
     | d :: rest ->
-        if remaining <= 0 then bytes - remaining
+        if remaining <= 0 then (bytes - remaining, spilled)
         else begin
           let got = alloc_from_domain t vma ~domain:d ~bytes:remaining ~max_page in
-          go (remaining - got) rest
+          let spilled =
+            if prefer_mc && not (is_mcdram t d) then spilled + got else spilled
+          in
+          go (remaining - got) spilled rest
         end
   in
-  go (Page.round_up bytes Page.Small) candidates
+  let populated, spilled = go (Page.round_up bytes Page.Small) 0 candidates in
+  if spilled > 0 then
+    Mk_obs.Hook.count ~subsystem:"mem" ~name:"mcdram_spill_bytes" spilled;
+  populated
 
 (* ------------------------------------------------------------------ *)
 (* mmap / munmap                                                       *)
@@ -274,6 +292,7 @@ let mmap t ~bytes ~backing ?policy () =
       (* McKernel: keep what we got and demand-page the rest
          best-effort from the requested domains (Section II-D3). *)
       t.stats.demand_fallbacks <- t.stats.demand_fallbacks + 1;
+      Mk_obs.Hook.count ~subsystem:"mem" ~name:"demand_fallbacks" 1;
       insert_vma t vma;
       t.stats.mmap_time <- t.stats.mmap_time + vma_setup_cost;
       Ok (start, vma_setup_cost)
@@ -332,6 +351,7 @@ let grow_heap_physical t target =
       end
       else begin
         t.stats.demand_fallbacks <- t.stats.demand_fallbacks + 1;
+        Mk_obs.Hook.count ~subsystem:"mem" ~name:"demand_fallbacks" 1;
         t.heap_mapped_top <- target;
         Ok 0
       end
@@ -366,11 +386,13 @@ let grow_heap_physical t target =
 let brk t ~delta =
   if delta = 0 then begin
     t.stats.brk_queries <- t.stats.brk_queries + 1;
+    Mk_obs.Hook.count ~subsystem:"mem" ~name:"brk_queries" 1;
     t.stats.brk_time <- t.stats.brk_time + brk_fast_cost;
     Ok (t.brk_current, brk_fast_cost)
   end
   else if delta > 0 then begin
     t.stats.brk_grows <- t.stats.brk_grows + 1;
+    Mk_obs.Hook.count ~subsystem:"mem" ~name:"brk_grows" 1;
     t.stats.cumulative_heap_growth <- t.stats.cumulative_heap_growth + delta;
     let new_brk = t.brk_current + delta in
     let target = Page.align_up (max new_brk t.heap_mapped_top) t.strategy.heap_increment in
@@ -393,6 +415,7 @@ let brk t ~delta =
   end
   else begin
     t.stats.brk_shrinks <- t.stats.brk_shrinks + 1;
+    Mk_obs.Hook.count ~subsystem:"mem" ~name:"brk_shrinks" 1;
     let new_brk = max heap_base_addr (t.brk_current + delta) in
     t.brk_current <- new_brk;
     if t.strategy.heap_ignore_shrink then begin
@@ -484,6 +507,8 @@ let demand_fault_range t (vma : Vma.t) ~bytes ~concurrency =
     t.stats.faults <- t.stats.faults + pages;
     t.stats.fault_time <- t.stats.fault_time + cost;
     t.stats.zeroed_bytes <- t.stats.zeroed_bytes + faulted;
+    Mk_obs.Hook.count ~subsystem:"mem" ~name:"demand_faults" pages;
+    Mk_obs.Hook.count ~subsystem:"mem" ~name:"fault_ns" cost;
     cost
   end
 

@@ -24,6 +24,7 @@ let edge_cost env ~src ~dst ~bytes =
 let allreduce env ~clocks ~bytes =
   let n = Array.length clocks in
   if n = 0 then invalid_arg "Collective.allreduce: no nodes";
+  Mk_obs.Hook.count ~subsystem:"mpi" ~name:"allreduce_calls" 1;
   let intra = Shm.intra_allreduce ~ranks:env.intra_ranks ~bytes in
   let half = intra / 2 in
   (* Local reduction to each node's leader. *)

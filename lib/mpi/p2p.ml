@@ -20,6 +20,7 @@ let messages_per_node ~neighbors = neighbors
 let halo env ~clocks ~bytes ~neighbors =
   let n = Array.length clocks in
   if n > 1 && neighbors > 0 then begin
+    Mk_obs.Hook.count ~subsystem:"mpi" ~name:"halo_calls" 1;
     let offsets = neighbor_offsets ~nodes:n ~neighbors in
     let send_cost = List.length offsets * List.fold_left
                       (fun acc s -> acc + env.Collective.syscall_cost s)

@@ -9,9 +9,11 @@ let make ~base ~alive ~extra_edge =
   { base; alive; extra_edge; pending_detection = 0 }
 
 let notify_crashes env ~policy ~count =
-  if count > 0 then
+  if count > 0 then begin
+    Mk_obs.Hook.count ~subsystem:"mpi" ~name:"crash_detections" count;
     env.pending_detection <-
       env.pending_detection + (count * Mk_fault.Retry.give_up_time policy)
+  end
 
 let pending_detection env = env.pending_detection
 
@@ -30,6 +32,7 @@ let flush_detection env ~clocks =
 let allreduce env ~clocks ~bytes =
   let n = Array.length clocks in
   if n = 0 then invalid_arg "Resilient.allreduce: no nodes";
+  Mk_obs.Hook.count ~subsystem:"mpi" ~name:"allreduce_calls" 1;
   flush_detection env ~clocks;
   let idx =
     Array.of_list (List.filter (fun i -> env.alive.(i)) (List.init n Fun.id))
@@ -82,6 +85,7 @@ let halo env ~clocks ~bytes ~neighbors =
   flush_detection env ~clocks;
   let n = Array.length clocks in
   if n > 1 && neighbors > 0 then begin
+    Mk_obs.Hook.count ~subsystem:"mpi" ~name:"halo_calls" 1;
     let offsets = P2p.neighbor_offsets ~nodes:n ~neighbors in
     let send_cost =
       List.length offsets

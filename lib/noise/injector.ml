@@ -22,9 +22,21 @@ let detour rng (s : Source.t) =
 let rec detour_sum rng s k acc =
   if k = 0 then acc else detour_sum rng s (k - 1) (acc + detour rng s)
 
+(* The hook fires only when the source actually struck (k > 0), so
+   the disabled-path cost of instrumentation is one branch on the
+   sparse case, not a DLS read per source per window. *)
+let record_strikes (s : Source.t) ~k ~stolen =
+  if k > 0 then begin
+    Mk_obs.Hook.count ~subsystem:"noise" ~name:("injections:" ^ s.Source.name) k;
+    Mk_obs.Hook.count ~subsystem:"noise" ~name:("stolen_ns:" ^ s.Source.name)
+      stolen
+  end
+
 let source_delay rng s ~dur =
   let k = occurrences rng s ~dur in
-  detour_sum rng s k 0
+  let stolen = detour_sum rng s k 0 in
+  record_strikes s ~k ~stolen;
+  stolen
 
 let rec delay_sum rng ~dur acc = function
   | [] -> acc
@@ -66,7 +78,9 @@ let rec max_delay_sum rng ~dur ~ranks acc = function
   | (s : Source.t) :: rest ->
       let lambda = float_of_int dur /. float_of_int s.Source.period in
       let k = max_poisson rng ~lambda ~ranks in
-      max_delay_sum rng ~dur ~ranks (acc + detour_sum rng s k 0) rest
+      let stolen = detour_sum rng s k 0 in
+      record_strikes s ~k ~stolen;
+      max_delay_sum rng ~dur ~ranks (acc + stolen) rest
 
 let max_delay profile rng ~dur ~ranks =
   if ranks <= 0 then invalid_arg "Injector.max_delay: ranks must be positive";

@@ -1,0 +1,75 @@
+type t = {
+  trace_enabled : bool;
+  metrics : Metrics.t;
+  mutable events_rev : Trace.event list;
+  mutable procs_rev : (int * string) list;
+  mutable next_pid : int;
+  mutable next_seq : int;
+  mutable runs : int;
+}
+
+let create ?(trace = false) () =
+  {
+    trace_enabled = trace;
+    metrics = Metrics.create ();
+    events_rev = [];
+    procs_rev = [];
+    next_pid = 1;
+    next_seq = 0;
+    runs = 0;
+  }
+
+let trace_enabled t = t.trace_enabled
+let runs t = t.runs
+let metrics t = t.metrics
+let bindings t = Metrics.bindings t.metrics
+let metrics_json t = Metrics.to_json t.metrics
+let events t = List.rev t.events_rev
+
+(* Adds MUST happen on one domain, in a deterministic order — the
+   experiment layer calls this sequentially, in input order, after
+   its parallel_map returns.  Each snapshot gets a fresh pid range
+   (one pid per cluster node) and its events get globally increasing
+   sequence numbers, so the merged trace depends only on the add
+   order, never on which domain simulated which run. *)
+let add t (s : Recorder.snapshot) =
+  t.runs <- t.runs + 1;
+  Metrics.absorb t.metrics s.Recorder.snap_metrics;
+  if t.trace_enabled then begin
+    let base = t.next_pid in
+    t.next_pid <- base + max 1 s.Recorder.snap_nodes;
+    let used = ref [] in
+    List.iter
+      (fun (e : Trace.event) ->
+        let pid = base + max 0 e.Trace.pid in
+        used := pid :: !used;
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        t.events_rev <- { e with Trace.pid; seq } :: t.events_rev)
+      s.Recorder.snap_events;
+    let pids = List.sort_uniq Int.compare !used in
+    List.iter
+      (fun pid ->
+        let name =
+          Printf.sprintf "%s seed %d node %d" s.Recorder.snap_label
+            s.Recorder.snap_seed (pid - base)
+        in
+        t.procs_rev <- (pid, name) :: t.procs_rev)
+      pids
+  end
+
+let tid_name = function
+  | 0 -> "clock"
+  | 1 -> "mpi"
+  | tid -> Printf.sprintf "t%d" tid
+
+let trace_json t =
+  let evs = events t in
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun (e : Trace.event) -> (e.Trace.pid, e.Trace.tid)) evs)
+  in
+  Trace.to_json
+    ~processes:(List.rev t.procs_rev)
+    ~threads:(List.map (fun (pid, tid) -> (pid, tid, tid_name tid)) tids)
+    evs

@@ -1,0 +1,33 @@
+(** Cross-run aggregation: merges per-run {!Recorder.snapshot}s into
+    one metrics registry and one trace.
+
+    The experiment layer fans runs out across domains but calls
+    {!add} sequentially, in input order, after the fan-out returns.
+    Pids (one per cluster node, per run) and event sequence numbers
+    are assigned at add time, so the merged artifacts depend only on
+    that deterministic order — the sequential and [-j N] traces are
+    byte-identical. *)
+
+type t
+
+val create : ?trace:bool -> unit -> t
+(** [trace] (default false) controls whether per-run recorders should
+    buffer events; collectors pass it through to {!Recorder.make}. *)
+
+val trace_enabled : t -> bool
+val runs : t -> int
+(** Snapshots absorbed so far. *)
+
+val add : t -> Recorder.snapshot -> unit
+(** Merge one run in.  Call from one domain only, in input order. *)
+
+val metrics : t -> Metrics.t
+val bindings : t -> (Key.t * Metrics.value) list
+val metrics_json : t -> Mk_engine.Json.t
+
+val events : t -> Trace.event list
+(** Rebased events in add order (use {!Trace.sort} for time order). *)
+
+val trace_json : t -> Mk_engine.Json.t
+(** The Perfetto-loadable Chrome trace document: one process per
+    (run, node) with human-readable names, one thread per track. *)

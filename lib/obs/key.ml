@@ -1,0 +1,21 @@
+type t = { kernel : string; node : int; subsystem : string; name : string }
+
+let job_wide = -1
+
+let v ?(node = job_wide) ~kernel ~subsystem ~name () =
+  { kernel; node; subsystem; name }
+
+let compare a b =
+  let c = String.compare a.kernel b.kernel in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.node b.node in
+    if c <> 0 then c
+    else
+      let c = String.compare a.subsystem b.subsystem in
+      if c <> 0 then c else String.compare a.name b.name
+
+let node_label n = if n = job_wide then "*" else string_of_int n
+
+let to_string k =
+  Printf.sprintf "%s/%s/%s/%s" k.kernel (node_label k.node) k.subsystem k.name

@@ -1,0 +1,26 @@
+(** Metric identity: [(kernel, node, subsystem, name)].
+
+    [kernel] is the scenario label of the run that produced the
+    sample ("Linux", "McKernel", "mOS"), so one registry can hold a
+    whole comparison and still attribute every count to the kernel
+    that earned it.  [node] is the cluster node index the sample was
+    charged to, or {!job_wide} for whole-job aggregates (collective
+    phase latencies, for instance). *)
+
+type t = { kernel : string; node : int; subsystem : string; name : string }
+
+val job_wide : int
+(** [-1]: the sample belongs to the job, not one node. *)
+
+val v : ?node:int -> kernel:string -> subsystem:string -> name:string -> unit -> t
+(** [node] defaults to {!job_wide}. *)
+
+val compare : t -> t -> int
+(** Total order: kernel, then node, then subsystem, then name.  The
+    deterministic tie-break every table and JSON export sorts by. *)
+
+val node_label : int -> string
+(** ["*"] for {!job_wide}, the decimal index otherwise. *)
+
+val to_string : t -> string
+(** ["kernel/node/subsystem/name"], e.g. ["McKernel/0/mem/demand_faults"]. *)

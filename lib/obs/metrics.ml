@@ -1,0 +1,173 @@
+(* The registry is a hash table of mutable cells, touched from the hot
+   paths of a single simulation run (one domain at a time — see
+   Hook).  Everything order-sensitive goes through
+   Analysis.Sorted.bindings_by, never Hashtbl.iter/fold (mklint R3),
+   so the rendered output depends only on the table's contents. *)
+
+type histogram = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;  (** (bit-length of value, count), sparse *)
+}
+
+type value =
+  | Counter of int
+  | Gauge of { last : int; peak : int }
+  | Histogram of histogram
+
+(* log2 histogram: bucket index = number of bits in the value, so
+   bucket [i] covers [2^(i-1), 2^i).  64 buckets cover every
+   non-negative int. *)
+let bucket_count = 64
+
+let bucket_of v =
+  let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+  if v <= 0 then 0 else bits v 0
+
+type cell =
+  | Ctr of int ref
+  | Gge of { mutable last : int; mutable peak : int }
+  | Hst of {
+      mutable hcount : int;
+      mutable hsum : int;
+      mutable hmin : int;
+      mutable hmax : int;
+      counts : int array;
+    }
+
+type t = (Key.t, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let wrong_kind key =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s already registered with another kind"
+       (Key.to_string key))
+
+let add t key n =
+  match Hashtbl.find_opt t key with
+  | Some (Ctr r) -> r := !r + n
+  | Some _ -> wrong_kind key
+  | None -> Hashtbl.replace t key (Ctr (ref n))
+
+let set_gauge t key v =
+  match Hashtbl.find_opt t key with
+  | Some (Gge g) ->
+      g.last <- v;
+      if v > g.peak then g.peak <- v
+  | Some _ -> wrong_kind key
+  | None -> Hashtbl.replace t key (Gge { last = v; peak = v })
+
+let observe t key v =
+  match Hashtbl.find_opt t key with
+  | Some (Hst h) ->
+      h.hcount <- h.hcount + 1;
+      h.hsum <- h.hsum + v;
+      if v < h.hmin then h.hmin <- v;
+      if v > h.hmax then h.hmax <- v;
+      let b = bucket_of v in
+      h.counts.(b) <- h.counts.(b) + 1
+  | Some _ -> wrong_kind key
+  | None ->
+      let counts = Array.make bucket_count 0 in
+      counts.(bucket_of v) <- 1;
+      Hashtbl.replace t key
+        (Hst { hcount = 1; hsum = v; hmin = v; hmax = v; counts })
+
+let counter t key =
+  match Hashtbl.find_opt t key with Some (Ctr r) -> !r | _ -> 0
+
+let value_of_cell = function
+  | Ctr r -> Counter !r
+  | Gge { last; peak } -> Gauge { last; peak }
+  | Hst { hcount; hsum; hmin; hmax; counts } ->
+      let buckets = ref [] in
+      for b = bucket_count - 1 downto 0 do
+        if counts.(b) > 0 then buckets := (b, counts.(b)) :: !buckets
+      done;
+      Histogram
+        { count = hcount; sum = hsum; min = hmin; max = hmax; buckets = !buckets }
+
+let bindings t =
+  List.map
+    (fun (k, c) -> (k, value_of_cell c))
+    (Mk_analysis.Sorted.bindings_by ~cmp:Key.compare t)
+
+(* Cross-run accumulation: counters add, gauges keep the later last
+   and the overall peak, histograms sum pointwise. *)
+let absorb t kvs =
+  List.iter
+    (fun (key, v) ->
+      match v with
+      | Counter n -> add t key n
+      | Gauge { last; peak } -> (
+          match Hashtbl.find_opt t key with
+          | Some (Gge g) ->
+              g.last <- last;
+              if peak > g.peak then g.peak <- peak
+          | Some _ -> wrong_kind key
+          | None -> Hashtbl.replace t key (Gge { last; peak }))
+      | Histogram h -> (
+          let cell =
+            match Hashtbl.find_opt t key with
+            | Some (Hst _ as c) -> c
+            | Some _ -> wrong_kind key
+            | None ->
+                let c =
+                  Hst
+                    {
+                      hcount = 0;
+                      hsum = 0;
+                      hmin = max_int;
+                      hmax = min_int;
+                      counts = Array.make bucket_count 0;
+                    }
+                in
+                Hashtbl.replace t key c;
+                c
+          in
+          match cell with
+          | Hst dst ->
+              dst.hcount <- dst.hcount + h.count;
+              dst.hsum <- dst.hsum + h.sum;
+              if h.min < dst.hmin then dst.hmin <- h.min;
+              if h.max > dst.hmax then dst.hmax <- h.max;
+              List.iter
+                (fun (b, c) -> dst.counts.(b) <- dst.counts.(b) + c)
+                h.buckets
+          | Ctr _ | Gge _ -> assert false))
+    kvs
+
+let value_to_json =
+  let open Mk_engine.Json in
+  function
+  | Counter n -> Int n
+  | Gauge { last; peak } -> Obj [ ("last", Int last); ("peak", Int peak) ]
+  | Histogram h ->
+      Obj
+        [
+          ("count", Int h.count);
+          ("sum", Int h.sum);
+          ("min", Int h.min);
+          ("max", Int h.max);
+          ( "buckets",
+            List
+              (List.map
+                 (fun (bits, c) ->
+                   Obj [ ("bits", Int bits); ("count", Int c) ])
+                 h.buckets) );
+        ]
+
+let value_to_string = function
+  | Counter n -> string_of_int n
+  | Gauge { last; peak } -> Printf.sprintf "%d (peak %d)" last peak
+  | Histogram h ->
+      Printf.sprintf "n=%d sum=%d min=%d max=%d" h.count h.sum h.min h.max
+
+let to_json t =
+  Mk_engine.Json.Obj
+    (List.map
+       (fun (k, v) -> (Key.to_string k, value_to_json v))
+       (bindings t))

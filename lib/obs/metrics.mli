@@ -1,0 +1,58 @@
+(** The metrics registry: counters, gauges and log2 histograms keyed
+    by {!Key.t}.
+
+    One registry belongs to one simulation run (see {!Recorder});
+    cross-run aggregation goes through immutable {!bindings}
+    snapshots and {!absorb}, so parallel experiment fan-out never
+    shares a registry between domains.  Every exported view is sorted
+    by {!Key.compare} via [Analysis.Sorted] — byte-identical output
+    for identical contents, regardless of insertion history. *)
+
+type histogram = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+      (** sparse [(bit_length, count)]: bucket [b] holds values in
+          [\[2^(b-1), 2^b)], bucket 0 holds [<= 0] *)
+}
+
+type value =
+  | Counter of int
+  | Gauge of { last : int; peak : int }
+  | Histogram of histogram
+
+type t
+
+val create : unit -> t
+
+val add : t -> Key.t -> int -> unit
+(** Bump a counter (created at 0 on first use).  Raises
+    [Invalid_argument] if the key already names a gauge/histogram. *)
+
+val set_gauge : t -> Key.t -> int -> unit
+(** Record an instantaneous level; the peak is kept alongside. *)
+
+val observe : t -> Key.t -> int -> unit
+(** Add one sample to a histogram. *)
+
+val counter : t -> Key.t -> int
+(** Current counter value; [0] when absent (or not a counter). *)
+
+val bindings : t -> (Key.t * value) list
+(** Immutable snapshot, sorted by {!Key.compare}. *)
+
+val absorb : t -> (Key.t * value) list -> unit
+(** Merge a snapshot in: counters add, gauges take the later [last]
+    and the max [peak], histograms sum pointwise. *)
+
+val bucket_of : int -> int
+(** Histogram bucket index of a value (its bit length; [0] for
+    non-positive values). *)
+
+val value_to_json : value -> Mk_engine.Json.t
+val value_to_string : value -> string
+
+val to_json : t -> Mk_engine.Json.t
+(** Object keyed by {!Key.to_string}, in {!Key.compare} order. *)

@@ -1,0 +1,79 @@
+open Mk_engine
+
+type event = {
+  ts : Units.time;
+  dur : Units.time option;
+  pid : int;
+  tid : int;
+  cat : string;
+  name : string;
+  args : (string * Json.t) list;
+  seq : int;
+}
+
+type t = { mutable events : event list; mutable next_seq : int }
+
+let create () = { events = []; next_seq = 0 }
+
+let record t ~ts ~dur ~pid ~tid ~cat ~name ~args =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.events <- { ts; dur; pid; tid; cat; name; args; seq } :: t.events
+
+let span t ~ts ~dur ~pid ~tid ~cat ~name ?(args = []) () =
+  record t ~ts ~dur:(Some dur) ~pid ~tid ~cat ~name ~args
+
+let instant t ~ts ~pid ~tid ~cat ~name ?(args = []) () =
+  record t ~ts ~dur:None ~pid ~tid ~cat ~name ~args
+
+let events t = List.rev t.events
+let length t = t.next_seq
+
+(* Merge order: simulated time, then the stable per-event sequence
+   number assigned at record (or re-assigned at Collect.add) time.
+   Wall clock never participates, so the sorted stream is identical
+   for sequential, -j N and fault-replay runs. *)
+let compare_event a b =
+  let c = Int.compare a.ts b.ts in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let sort evs = List.sort compare_event evs
+
+(* Chrome trace-event JSON (the "JSON Array Format" with a
+   [traceEvents] wrapper), loadable by Perfetto and chrome://tracing.
+   [ts]/[dur] are microseconds by convention; the DES clock is in
+   nanoseconds, so values are scaled by 1e-3. *)
+let us_of_ns ns = Json.Float (Int.to_float ns /. 1000.)
+
+let meta ~pid ?tid ~name ~value () =
+  Json.Obj
+    ([ ("name", Json.String name); ("ph", Json.String "M") ]
+    @ [ ("pid", Json.Int pid) ]
+    @ (match tid with None -> [] | Some tid -> [ ("tid", Json.Int tid) ])
+    @ [ ("args", Json.Obj [ ("name", Json.String value) ]) ])
+
+let event_to_json e =
+  Json.Obj
+    ([
+       ("name", Json.String e.name);
+       ("cat", Json.String e.cat);
+       ("ph", Json.String (match e.dur with Some _ -> "X" | None -> "i"));
+       ("ts", us_of_ns e.ts);
+     ]
+    @ (match e.dur with Some d -> [ ("dur", us_of_ns d) ] | None -> [ ("s", Json.String "t") ])
+    @ [ ("pid", Json.Int e.pid); ("tid", Json.Int e.tid) ]
+    @ match e.args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let to_json ~processes ~threads evs =
+  let metas =
+    List.map (fun (pid, name) -> meta ~pid ~name:"process_name" ~value:name ()) processes
+    @ List.map
+        (fun (pid, tid, name) ->
+          meta ~pid ~tid ~name:"thread_name" ~value:name ())
+        threads
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metas @ List.map event_to_json (sort evs)));
+      ("displayTimeUnit", Json.String "ns");
+    ]
