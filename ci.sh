@@ -30,10 +30,15 @@ dune exec test/test_engine.exe -- test atomic-file >/dev/null
 dune exec bench/main.exe -- check-results
 
 # Hot-path gate: a tiny perf suite (DES events/sec, page-table
-# pages/sec, suite seq vs -j 2).  Fails when -j 2 stops beating
-# sequential — the regression this PR exists to prevent — round-trips
-# its JSON through the parser, and fails when the disabled
-# observability hooks (sink=Null) cost more than 2%.
+# pages/sec, suite seq vs -j N).  The speedup gates are conditional on
+# the runner's core count (docs/PARALLELISM.md §3): on >= 2 cores -j 2
+# must beat sequential, and on >= 4 cores the work-stealing pool must
+# clear a 1.25x suite speedup at -j 4; on fewer cores the ratios are
+# recorded in the JSON but cannot gate (the pool clamps to zero
+# workers there, so the columns measure scheduling noise, not
+# parallelism).  Unconditionally: the smoke JSON round-trips through
+# the parser, -j output is byte-identical to sequential, and the
+# disabled observability hooks (sink=Null) cost no more than 2%.
 dune exec bench/main.exe -- perf --smoke
 
 # Observability gate (docs/OBSERVABILITY.md): the same traced
@@ -50,10 +55,14 @@ cmp bench/results/trace-smoke-seq.json bench/results/trace-smoke-par.json || {
 }
 dune exec bench/main.exe -- check-json bench/results/trace-smoke-seq.json
 
+# API-doc gate: odoc warnings are fatal (root `dune` env stanza), so
+# a broken {!reference} or malformed doc comment fails the build, not
+# just a log line.  Lean toolchains without odoc cannot run the gate;
+# they say so loudly instead of silently passing.
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc
 else
-  echo "ci.sh: odoc not installed; skipping 'dune build @doc' (opam install odoc)"
+  echo "ci.sh: WARNING: odoc not installed; @doc gate NOT run (opam install odoc)" >&2
 fi
 
 echo "ci.sh: all checks passed"

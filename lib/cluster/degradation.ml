@@ -40,10 +40,14 @@ let run ?pool ?obs ?(scenarios = Scenario.trio) ~app ~nodes ~preset
   List.iter
     (fun rate -> ignore (plan_for ~preset ~rate ~app ~nodes ~seed))
     (match rates with [] -> [ 0.0 ] | l -> l);
-  (* One flat batch over (scenario × rate-or-healthy) cells, like
-     Experiment.compare_scenarios: keeps every worker busy and the
-     output independent of completion order. *)
-  let cells =
+  (* One flat (scenario × rate-or-healthy) cell list handed to
+     Experiment.points, which decomposes it into per-repetition pool
+     tasks: the whole table is a single flat schedule, and the
+     collector (if any) absorbs snapshots in cell input order inside
+     [points].  Fault plans are generated here — they are a pure
+     function of their arguments, so this changes nothing observable
+     versus generating them in workers. *)
+  let specs =
     List.concat
       (List.mapi
          (fun i scenario ->
@@ -51,42 +55,25 @@ let run ?pool ?obs ?(scenarios = Scenario.trio) ~app ~nodes ~preset
            :: List.map (fun rate -> (i, scenario, Some rate)) rates)
          scenarios)
   in
+  let cells =
+    List.map
+      (fun (_, scenario, rate) ->
+        {
+          Experiment.scenario;
+          app;
+          nodes;
+          faults =
+            Option.map (fun rate -> plan_for ~preset ~rate ~app ~nodes ~seed) rate;
+          runs;
+          seed;
+        })
+      specs
+  in
   let cell_results =
-    match obs with
-    | None ->
-        Pool.parallel_map ?pool
-          (fun (i, scenario, rate) ->
-            let faults =
-              Option.map
-                (fun rate -> plan_for ~preset ~rate ~app ~nodes ~seed)
-                rate
-            in
-            (i, rate, Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ()))
-          cells
-    | Some c ->
-        (* Workers hand their snapshots back with the cell; the
-           collector absorbs them here, in cell input order, after
-           the barrier. *)
-        let trace = Mk_obs.Collect.trace_enabled c in
-        let outs =
-          Pool.parallel_map ?pool
-            (fun (i, scenario, rate) ->
-              let faults =
-                Option.map
-                  (fun rate -> plan_for ~preset ~rate ~app ~nodes ~seed)
-                  rate
-              in
-              let p, snaps =
-                Experiment.point_traced ?pool ?faults ~trace ~scenario ~app
-                  ~nodes ~runs ~seed ()
-              in
-              (i, rate, p, snaps))
-            cells
-        in
-        List.iter
-          (fun (_, _, _, snaps) -> List.iter (Mk_obs.Collect.add c) snaps)
-          outs;
-        List.map (fun (i, rate, p, _) -> (i, rate, p)) outs
+    List.map2
+      (fun (i, _, rate) p -> (i, rate, p))
+      specs
+      (Experiment.points ?pool ?obs cells)
   in
   let rows =
     List.mapi
@@ -244,23 +231,11 @@ let isolation_demo ?pool ?obs ?(runs = Experiment.default_runs) ?(seed = 42) () 
       ]
   in
   let results =
-    match obs with
-    | None ->
-        Pool.parallel_map ?pool
-          (fun (_, scenario, app, nodes, faults) ->
-            Experiment.point ?pool ?faults ~scenario ~app ~nodes ~runs ~seed ())
-          cells
-    | Some c ->
-        let trace = Mk_obs.Collect.trace_enabled c in
-        let outs =
-          Pool.parallel_map ?pool
-            (fun (_, scenario, app, nodes, faults) ->
-              Experiment.point_traced ?pool ?faults ~trace ~scenario ~app
-                ~nodes ~runs ~seed ())
-            cells
-        in
-        List.iter (fun (_, snaps) -> List.iter (Mk_obs.Collect.add c) snaps) outs;
-        List.map fst outs
+    Experiment.points ?pool ?obs
+      (List.map
+         (fun (_, scenario, app, nodes, faults) ->
+           { Experiment.scenario; app; nodes; faults; runs; seed })
+         cells)
   in
   let tagged = List.combine (List.map (fun (l, _, _, _, p) -> (l, p)) cells) results in
   let find label faulted =

@@ -8,6 +8,15 @@ type point = {
 
 type series = { scenario_label : string; points : point list }
 
+type cell = {
+  scenario : Scenario.t;
+  app : Mk_apps.App.t;
+  nodes : int;
+  faults : Mk_fault.Plan.t option;
+  runs : int;
+  seed : int;
+}
+
 let default_runs = 5
 
 let summarise ~nodes results =
@@ -25,115 +34,123 @@ let summarise ~nodes results =
     median_result;
   }
 
-let point_traced ?pool ?faults ~trace ~scenario ~app ~nodes
-    ?(runs = default_runs) ?(seed = 42) () =
-  if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
-  let label = scenario.Scenario.label in
-  let outs =
-    Mk_engine.Pool.parallel_map ?pool
-      (fun i ->
-        let seed = seed + (100 * i) in
-        let r = Mk_obs.Recorder.make ~trace ~label ~nodes ~seed () in
-        let result = Driver.run ?faults ~obs:r ~scenario ~app ~nodes ~seed () in
-        (result, Mk_obs.Recorder.snapshot r))
-      (List.init runs Fun.id)
+(* Split a flat stream back into consecutive groups of the given
+   sizes.  The fan-out below relies on [Pool.parallel_map] preserving
+   input order, so group boundaries are positional. *)
+let split_groups sizes xs =
+  let rec take n rest acc =
+    if n = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | x :: tl -> take (n - 1) tl (x :: acc)
+      | [] -> assert false
   in
-  (summarise ~nodes (List.map fst outs), List.map snd outs)
+  let rec go sizes rest acc =
+    match sizes with
+    | [] -> List.rev acc
+    | n :: tl ->
+        let mine, rest = take n rest [] in
+        go tl rest (mine :: acc)
+  in
+  go sizes xs []
 
-let point ?pool ?faults ?obs ~scenario ~app ~nodes ?(runs = default_runs)
-    ?(seed = 42) () =
+(* The one fan-out point of the experiment layer.  Every repetition of
+   every cell becomes its own pool task — the finest grain there is —
+   so the work-stealing executor load-balances across uneven cell
+   costs (a 256-node HPCG run next to a 4-node sleep costs nothing to
+   schedule around).  Jobs are laid out cell-major, repetition-minor;
+   results come back in that same order ([parallel_map] reassembles
+   positionally), so summarising per cell and absorbing snapshots in
+   job order reproduce exactly what sequential execution would have
+   done — which executor ran which repetition is invisible. *)
+let points ?pool ?obs cells =
+  List.iter
+    (fun c ->
+      if c.runs <= 0 then invalid_arg "Experiment.point: runs must be positive")
+    cells;
+  let jobs =
+    List.concat_map (fun c -> List.init c.runs (fun i -> (c, i))) cells
+  in
+  let seed_of c i = c.seed + (100 * i) in
+  let regroup results =
+    List.map2
+      (fun c rs -> summarise ~nodes:c.nodes rs)
+      cells
+      (split_groups (List.map (fun c -> c.runs) cells) results)
+  in
   match obs with
   | None ->
       (* No recorder is even allocated: the Driver keeps the Null
          sink installed — the pre-observability fast path. *)
-      if runs <= 0 then invalid_arg "Experiment.point: runs must be positive";
-      let results =
-        Mk_engine.Pool.parallel_map ?pool
-          (fun i ->
-            Driver.run ?faults ~scenario ~app ~nodes ~seed:(seed + (100 * i)) ())
-          (List.init runs Fun.id)
-      in
-      summarise ~nodes results
-  | Some c ->
-      let p, snaps =
-        point_traced ?pool ?faults ~trace:(Mk_obs.Collect.trace_enabled c)
-          ~scenario ~app ~nodes ~runs ~seed ()
-      in
-      (* Absorb in run order, after the fan-out barrier: each run
-         recorded into its own recorder, so merging here — never in a
-         worker — keeps parallel output bit-identical to sequential. *)
-      List.iter (Mk_obs.Collect.add c) snaps;
-      p
-
-let sweep ?pool ?obs ~scenario ~app ?node_counts ?runs ?seed () =
-  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
-  let points =
-    match obs with
-    | None ->
-        Mk_engine.Pool.parallel_map ?pool
-          (fun nodes -> point ?pool ~scenario ~app ~nodes ?runs ?seed ())
-          counts
-    | Some c ->
-        let trace = Mk_obs.Collect.trace_enabled c in
-        let outs =
-          Mk_engine.Pool.parallel_map ?pool
-            (fun nodes ->
-              point_traced ?pool ~trace ~scenario ~app ~nodes ?runs ?seed ())
-            counts
-        in
-        List.iter (fun (_, snaps) -> List.iter (Mk_obs.Collect.add c) snaps) outs;
-        List.map fst outs
-  in
-  { scenario_label = scenario.Scenario.label; points }
-
-let compare_scenarios ?pool ?obs ~scenarios ~app ?node_counts ?runs ?seed () =
-  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
-  (* Fan every (scenario × node count) cell out as one job — a single
-     flat batch keeps all workers busy even when scenarios and node
-     counts are few — then regroup by scenario index, so the output
-     is structurally identical to mapping [sweep] over [scenarios]. *)
-  let cells =
-    List.concat
-      (List.mapi
-         (fun i scenario -> List.map (fun nodes -> (i, scenario, nodes)) counts)
-         scenarios)
-  in
-  let regroup cell_points =
-    List.mapi
-      (fun i (scenario : Scenario.t) ->
-        {
-          scenario_label = scenario.Scenario.label;
-          points = List.filter_map (fun (j, p) -> if j = i then Some p else None) cell_points;
-        })
-      scenarios
-  in
-  match obs with
-  | None ->
       regroup
         (Mk_engine.Pool.parallel_map ?pool
-           (fun (i, scenario, nodes) ->
-             (i, point ?pool ~scenario ~app ~nodes ?runs ?seed ()))
-           cells)
-  | Some c ->
-      (* Workers never touch [c]: snapshots travel back with their
-         cell and are absorbed here in cell input order, exactly the
-         order a sequential execution would have produced. *)
-      let trace = Mk_obs.Collect.trace_enabled c in
-      let cell_out =
+           (fun (c, i) ->
+             Driver.run ?faults:c.faults ~scenario:c.scenario ~app:c.app
+               ~nodes:c.nodes ~seed:(seed_of c i) ())
+           jobs)
+  | Some coll ->
+      let trace = Mk_obs.Collect.trace_enabled coll in
+      let outs =
         Mk_engine.Pool.parallel_map ?pool
-          (fun (i, scenario, nodes) ->
-            (i, point_traced ?pool ~trace ~scenario ~app ~nodes ?runs ?seed ()))
-          cells
+          (fun (c, i) ->
+            let seed = seed_of c i in
+            let r =
+              Mk_obs.Recorder.make ~trace ~label:c.scenario.Scenario.label
+                ~nodes:c.nodes ~seed ()
+            in
+            let result =
+              Driver.run ?faults:c.faults ~obs:r ~scenario:c.scenario
+                ~app:c.app ~nodes:c.nodes ~seed ()
+            in
+            (result, Mk_obs.Recorder.snapshot r))
+          jobs
       in
-      List.iter
-        (fun (_, (_, snaps)) -> List.iter (Mk_obs.Collect.add c) snaps)
-        cell_out;
-      regroup (List.map (fun (i, (p, _)) -> (i, p)) cell_out)
+      (* Each run recorded into its own recorder; merging here — in
+         job order, never in a worker — keeps parallel observed
+         output bit-identical to sequential. *)
+      List.iter (fun (_, s) -> Mk_obs.Collect.add coll s) outs;
+      regroup (List.map fst outs)
+
+let point ?pool ?faults ?obs ~scenario ~app ~nodes ?(runs = default_runs)
+    ?(seed = 42) () =
+  match points ?pool ?obs [ { scenario; app; nodes; faults; runs; seed } ] with
+  | [ p ] -> p
+  | _ -> assert false
+
+let sweep ?pool ?obs ~scenario ~app ?node_counts ?(runs = default_runs)
+    ?(seed = 42) () =
+  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
+  let cells =
+    List.map
+      (fun nodes -> { scenario; app; nodes; faults = None; runs; seed })
+      counts
+  in
+  { scenario_label = scenario.Scenario.label; points = points ?pool ?obs cells }
+
+let compare_scenarios ?pool ?obs ~scenarios ~app ?node_counts
+    ?(runs = default_runs) ?(seed = 42) () =
+  let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
+  let cells =
+    List.concat_map
+      (fun scenario ->
+        List.map
+          (fun nodes -> { scenario; app; nodes; faults = None; runs; seed })
+          counts)
+      scenarios
+  in
+  let k = List.length counts in
+  List.map2
+    (fun (scenario : Scenario.t) pts ->
+      { scenario_label = scenario.Scenario.label; points = pts })
+    scenarios
+    (split_groups
+       (List.map (fun _ -> k) scenarios)
+       (points ?pool ?obs cells))
 
 let relative_to ~baseline series =
   List.filter_map
-    (fun p ->
-      match List.find_opt (fun b -> b.nodes = p.nodes) baseline.points with
+    (fun (p : point) ->
+      match List.find_opt (fun (b : point) -> b.nodes = p.nodes) baseline.points with
       | Some b when b.median_fom > 0.0 -> Some (p.nodes, p.median_fom /. b.median_fom)
       | Some _ | None -> None)
     series.points
@@ -148,10 +165,34 @@ let best_improvement ratio_lists =
     neg_infinity
     (List.concat ratio_lists)
 
-let suite ?pool ?obs ?(apps = Mk_apps.Registry.all) ?node_counts ?runs ?seed () =
-  List.map
-    (fun app ->
+let suite ?pool ?obs ?(apps = Mk_apps.Registry.all) ?node_counts
+    ?(runs = default_runs) ?(seed = 42) () =
+  (* The whole evaluation — every (app × scenario × node count)
+     repetition — as one flat batch.  This is where per-run tasks pay
+     off most: apps differ in cost by orders of magnitude, and with
+     per-app (or even per-cell) batches the suite's tail was whoever
+     drew the expensive app.  Here idle executors steal individual
+     runs from the expensive cells instead of waiting out the
+     barrier. *)
+  let counts_of app = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
+  let cells_of app =
+    List.concat_map
+      (fun scenario ->
+        List.map
+          (fun nodes -> { scenario; app; nodes; faults = None; runs; seed })
+          (counts_of app))
+      Scenario.trio
+  in
+  let per_app = List.map (fun app -> (app, cells_of app)) apps in
+  let ps = points ?pool ?obs (List.concat_map snd per_app) in
+  List.map2
+    (fun (app, _) pts ->
+      let k = List.length (counts_of app) in
       ( app,
-        compare_scenarios ?pool ?obs ~scenarios:Scenario.trio ~app ?node_counts
-          ?runs ?seed () ))
-    apps
+        List.map2
+          (fun (s : Scenario.t) points ->
+            { scenario_label = s.Scenario.label; points })
+          Scenario.trio
+          (split_groups (List.map (fun _ -> k) Scenario.trio) pts) ))
+    per_app
+    (split_groups (List.map (fun (_, cs) -> List.length cs) per_app) ps)

@@ -4,15 +4,17 @@
     median … error bars indicating the maximum and minimum values"
     (Section III-C); [point] carries exactly that.
 
-    Every repetition and every (scenario × node count) cell is an
-    independent simulation — its own {!Driver} run, its own seed —
-    so the three orchestrators below fan their cells out through
-    {!Mk_engine.Pool.parallel_map}.  Results are reassembled in input
-    order, which makes parallel output bit-identical to sequential
-    output (see [docs/PARALLELISM.md] for the contract, and the
-    determinism test in [test/test_cluster.ml]).  With no [?pool] and
-    no configured default pool everything runs sequentially, exactly
-    as before. *)
+    Every repetition of every (scenario × node count) cell is an
+    independent simulation — its own {!Driver} run, its own seed — so
+    the orchestrators below flatten their cells into {e per-run}
+    tasks and fan them out through one {!Mk_engine.Pool.parallel_map}
+    call ({!points}): the work-stealing pool load-balances individual
+    runs across uneven cell costs, with no barrier between cells,
+    scenarios or apps.  Results are reassembled in input order, which
+    makes parallel output bit-identical to sequential output (see
+    [docs/PARALLELISM.md] for the contract, and the determinism test
+    in [test/test_cluster.ml]).  With no [?pool] and no configured
+    default pool everything runs sequentially, exactly as before. *)
 
 type point = {
   nodes : int;
@@ -49,22 +51,32 @@ val point :
     sequentially in run order after the fan-out returns, so observed
     output is bit-identical between sequential and [-j N] execution. *)
 
-val point_traced :
+type cell = {
+  scenario : Scenario.t;
+  app : Mk_apps.App.t;
+  nodes : int;
+  faults : Mk_fault.Plan.t option;
+  runs : int;
+  seed : int;
+}
+(** One aggregation unit of {!points}: [runs] repetitions of the same
+    configuration, reduced to a single {!point}. *)
+
+val points :
   ?pool:Mk_engine.Pool.t ->
-  ?faults:Mk_fault.Plan.t ->
-  trace:bool ->
-  scenario:Scenario.t ->
-  app:Mk_apps.App.t ->
-  nodes:int ->
-  ?runs:int ->
-  ?seed:int ->
-  unit ->
-  point * Mk_obs.Recorder.snapshot list
-(** As {!point} but returning the per-run snapshots instead of
-    absorbing them: shared-state-free, hence safe to call from inside
-    a {!Mk_engine.Pool.parallel_map} worker (as {!Degradation} does).
-    The caller is responsible for absorbing the snapshots — in input
-    order, outside any worker. *)
+  ?obs:Mk_obs.Collect.t ->
+  cell list ->
+  point list
+(** The experiment layer's one fan-out primitive: every repetition of
+    every cell becomes its own pool task (cell-major,
+    repetition-minor), so the work-stealing pool balances individual
+    runs across cells of wildly different cost.  Returns one point
+    per cell, in cell order.  {!point}, {!sweep},
+    {!compare_scenarios}, {!suite} and {!Degradation} all reduce to a
+    single call of this; use it directly for custom cell batches
+    (mixed apps, per-cell fault plans) that should share one flat
+    schedule.  Raises [Invalid_argument] if any cell has
+    [runs <= 0]. *)
 
 val sweep :
   ?pool:Mk_engine.Pool.t ->
@@ -89,9 +101,10 @@ val compare_scenarios :
   ?seed:int ->
   unit ->
   series list
-(** The Figure-4 shape: one series per scenario.  All
-    (scenario × node count) cells are submitted as a single flat
-    batch so the pool stays busy across scenario boundaries. *)
+(** The Figure-4 shape: one series per scenario.  Every repetition of
+    every (scenario × node count) cell is submitted as one flat
+    {!points} batch, so the pool stays busy across scenario
+    boundaries. *)
 
 val relative_to :
   baseline:series -> series -> (int * float) list

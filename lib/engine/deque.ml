@@ -1,0 +1,127 @@
+(* Chase–Lev circular-array deque (SPAA 2005) on OCaml 5 atomics.
+
+   Layout: [top] and [bottom] are monotonically growing indices into
+   a conceptually infinite array; the live window is [top, bottom).
+   The physical ring stores index [i] at slot [i land (length - 1)],
+   so the window must never span more than [length - 1] slots — the
+   owner grows the ring before that can happen, which is also what
+   makes the value-validity argument below go through.
+
+   Every slot is its own [Atomic.t].  That is slightly heavier than
+   the C original's plain array + fences, but it keeps us inside the
+   OCaml memory model with nothing to prove about data races: the
+   only racy accesses are atomic, and atomic operations in OCaml 5
+   are sequentially consistent.  The tasks this deque carries are
+   whole simulation runs (milliseconds each), so the extra indirection
+   is far below measurement noise.
+
+   Validity of a successful [steal]: a thief reads slot [t] and then
+   CASes [top] from [t] to [t + 1].  The owner can only overwrite the
+   physical slot of index [t] when pushing index [t + length]; the
+   grow check keeps [bottom - top < length], so that push requires
+   [top > t] — at which point the thief's CAS is guaranteed to fail.
+   A successful CAS therefore proves the slot read was the index-[t]
+   value.  The same argument covers the owner's CAS in the
+   one-element [pop].
+
+   Thieves never write slots (a delayed thief clearing a slot could
+   wipe a value the owner has since pushed into the recycled slot);
+   only the owner clears, on [pop].  A stolen slot keeps its value
+   until the ring index wraps — a bounded GC retention we accept for
+   safety. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  ring : 'a option Atomic.t array Atomic.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 2
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+  let cap = next_pow2 (max 2 capacity) in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    ring = Atomic.make (Array.init cap (fun _ -> Atomic.make None));
+  }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let slot ring i = ring.(i land (Array.length ring - 1))
+
+(* Owner only.  Doubles the ring and copies the live window; thieves
+   holding the old ring still see valid values for any index their
+   CAS can win on (the copy does not clear the old slots). *)
+let grow t ~top ~bottom =
+  let old_ring = Atomic.get t.ring in
+  let ring = Array.init (2 * Array.length old_ring) (fun _ -> Atomic.make None) in
+  for i = top to bottom - 1 do
+    Atomic.set (slot ring i) (Atomic.get (slot old_ring i))
+  done;
+  Atomic.set t.ring ring;
+  ring
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let ring = Atomic.get t.ring in
+  let ring =
+    if b - tp >= Array.length ring - 1 then grow t ~top:tp ~bottom:b else ring
+  in
+  Atomic.set (slot ring b) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let ring = Atomic.get t.ring in
+  (* Claim index [b] first, then look at [top]: a thief that read the
+     old [bottom] before this store can still CAS index [b]'s
+     predecessor, but index [b] itself is now reachable only through
+     the one-element race below. *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty: restore the canonical empty shape. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else
+    let cell = slot ring b in
+    let v = Atomic.get cell in
+    if b > tp then begin
+      (* At least two elements were present: index [b] is beyond any
+         thief's reach, take it without synchronising. *)
+      Atomic.set cell None;
+      v
+    end
+    else begin
+      (* Last element: race the thieves for index [tp = b]. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        Atomic.set cell None;
+        v
+      end
+      else None
+    end
+
+let rec steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else
+    let ring = Atomic.get t.ring in
+    let v = Atomic.get (slot ring tp) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v
+    else begin
+      (* Lost to another thief or to the owner's last-element pop;
+         the deque may still be non-empty, so look again. *)
+      Domain.cpu_relax ();
+      steal t
+    end

@@ -1,0 +1,52 @@
+(** Chase–Lev work-stealing deque: single owner, many thieves.
+
+    The owner pushes and pops at the {e bottom} (LIFO, cache-warm);
+    any other domain steals from the {e top} (FIFO, oldest task
+    first).  This is the per-domain run queue of {!Pool}'s
+    work-stealing executor: LIFO local execution keeps a submitter
+    close to the work it just created, FIFO stealing hands a thief
+    the largest-granularity task available — the classic split that
+    makes stealing rare and cheap when the load is balanced and
+    effective when it is not.
+
+    The implementation is the circular-array deque of Chase and Lev
+    (SPAA 2005) on OCaml 5 [Atomic]s: [push]/[pop] are a handful of
+    plain loads and one atomic store in the common case; [steal] and
+    the one-element [pop] race resolve by compare-and-set on the top
+    index.  The ring grows geometrically when full (the capacity
+    argument is an initial size, not a limit), so [push] never
+    blocks and never drops work.
+
+    Ownership discipline is the caller's contract: [push] and [pop]
+    must only ever be called from one domain at a time — the owner —
+    while [steal] is safe from any domain, concurrently with
+    everything.  Nothing enforces this; {!Pool} guarantees it by
+    construction (one deque per executor slot). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** A fresh empty deque.  [capacity] (default [256]) is the initial
+    ring size, rounded up to a power of two [>= 2]; the ring doubles
+    whenever a [push] finds it full.  Tests use tiny capacities to
+    force the growth path under concurrent stealing. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element (LIFO), or
+    [None] when empty.  When exactly one element remains, the owner
+    races any thieves for it with a CAS on the top index; losing the
+    race yields [None]. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the {e oldest} element (FIFO), or [None] when
+    the deque is empty.  Internal CAS contention with other thieves
+    retries; an empty result means there really was nothing to take
+    at the linearisation point. *)
+
+val size : 'a t -> int
+(** Snapshot of [bottom - top]: the number of elements present at
+    some moment during the call.  Racy by nature — use for
+    heuristics and diagnostics, never for correctness. *)

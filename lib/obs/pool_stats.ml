@@ -1,0 +1,17 @@
+let kernel = "engine"
+let subsystem = "sched"
+
+let key ~node name = Key.v ~node ~kernel ~subsystem ~name ()
+
+let to_metrics (s : Mk_engine.Pool.stats) =
+  let m = Metrics.create () in
+  for i = 0 to s.executors - 1 do
+    Metrics.set_gauge m (key ~node:i "executed") s.executed.(i);
+    Metrics.add m (key ~node:i "local_pops") s.local_pops.(i);
+    Metrics.add m (key ~node:i "steals") s.steals.(i);
+    Metrics.add m (key ~node:i "failed_steals") s.failed_steals.(i);
+    Metrics.add m (key ~node:i "injected_runs") s.injected_runs.(i)
+  done;
+  m
+
+let to_json s = Metrics.to_json (to_metrics s)

@@ -502,6 +502,111 @@ let test_atomic_partial_write_invisible () =
         = Ok (Json.Obj [ ("ok", Json.Bool true) ])))
 
 (* ------------------------------------------------------------------ *)
+(* Deque: the Chase–Lev ring under the work-stealing pool *)
+
+(* List literals evaluate right to left — sequence the takes
+   explicitly so the recorded order is the call order. *)
+let take3 f =
+  let a = f () in
+  let b = f () in
+  let c = f () in
+  List.filter_map Fun.id [ a; b; c ]
+
+let test_deque_lifo_pop () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  check_int "size" 3 (Deque.size d);
+  Alcotest.(check (list int))
+    "owner pops newest first" [ 3; 2; 1 ]
+    (take3 (fun () -> Deque.pop d));
+  check_bool "then empty" true (Deque.pop d = None);
+  check_int "size empty" 0 (Deque.size d)
+
+let test_deque_fifo_steal () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (list int))
+    "thief takes oldest first" [ 1; 2; 3 ]
+    (take3 (fun () -> Deque.steal d));
+  check_bool "then empty" true (Deque.steal d = None)
+
+let test_deque_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Deque.create: capacity must be >= 1") (fun () ->
+      ignore (Deque.create ~capacity:0 ()))
+
+let test_deque_growth () =
+  (* A capacity-1 ring must double its way up without losing or
+     duplicating anything, under a mix of pops and (same-domain)
+     steals. *)
+  let d = Deque.create ~capacity:1 () in
+  let n = 1_000 in
+  for i = 1 to n do
+    Deque.push d i
+  done;
+  check_int "all retained across growth" n (Deque.size d);
+  let taken = ref [] in
+  let rec drain alt =
+    match (if alt then Deque.steal d else Deque.pop d) with
+    | Some v ->
+        taken := v :: !taken;
+        drain (not alt)
+    | None -> ( match Deque.pop d with None -> () | Some v ->
+        taken := v :: !taken;
+        drain alt)
+  in
+  drain true;
+  Alcotest.(check (list int))
+    "each element exactly once"
+    (List.init n (fun i -> i + 1))
+    (List.sort compare !taken)
+
+let test_deque_cross_domain_steal () =
+  (* One owner pushes (and occasionally pops); thief domains steal
+     concurrently from a deliberately tiny ring so growth races the
+     steals.  Every pushed element must be taken exactly once. *)
+  let d = Deque.create ~capacity:2 () in
+  let n = 20_000 and thieves = 3 in
+  let stop = Atomic.make false in
+  let stolen_sum = Atomic.make 0 and stolen_n = Atomic.make 0 in
+  let doms =
+    List.init thieves (fun _ ->
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Deque.steal d with
+              | Some v ->
+                  Atomic.incr stolen_n;
+                  ignore (Atomic.fetch_and_add stolen_sum v);
+                  go ()
+              | None ->
+                  if not (Atomic.get stop) then (
+                    Domain.cpu_relax ();
+                    go ())
+            in
+            go ()))
+  in
+  let popped_sum = ref 0 and popped_n = ref 0 in
+  let take () =
+    match Deque.pop d with
+    | Some v ->
+        popped_sum := !popped_sum + v;
+        incr popped_n;
+        true
+    | None -> false
+  in
+  for i = 1 to n do
+    Deque.push d i;
+    if i land 7 = 0 then ignore (take ())
+  done;
+  while take () do () done;
+  Atomic.set stop true;
+  List.iter Domain.join doms;
+  check_int "every push taken exactly once" n (!popped_n + Atomic.get stolen_n);
+  check_int "no element corrupted"
+    (n * (n + 1) / 2)
+    (!popped_sum + Atomic.get stolen_sum)
+
+(* ------------------------------------------------------------------ *)
 (* Pool *)
 
 let test_pool_invalid_size () =
@@ -647,6 +752,70 @@ let test_pool_shutdown_with_pending_jobs () =
     (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
       ignore (Pool.parallel_map ~pool succ [ 1; 2; 3 ]))
 
+let test_pool_stats_invariant () =
+  (* Once a map has returned the pool is quiescent and every executed
+     task must have a provenance: popped locally, stolen, or taken
+     from the injector.  The tiny deque forces ring growth while the
+     oversubscribed workers steal from the submitter's deque. *)
+  let pool =
+    Pool.create ~oversubscribe:true ~num_domains:3 ~deque_capacity:2 ()
+  in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let n = 400 in
+  Alcotest.(check (list int))
+    "map correct" (List.init n (fun i -> i * i))
+    (Pool.parallel_map ~pool (fun i -> i * i) (List.init n Fun.id));
+  let s = Pool.stats pool in
+  check_int "executors = workers + submitter" (Pool.size pool + 1)
+    s.Pool.executors;
+  check_int "total executed = tasks submitted" n
+    (Array.fold_left ( + ) 0 s.Pool.executed);
+  Array.iteri
+    (fun i e ->
+      check_int
+        (Printf.sprintf "executor %d: executed = pops + steals + injected" i)
+        e
+        (s.Pool.local_pops.(i) + s.Pool.steals.(i) + s.Pool.injected_runs.(i)))
+    s.Pool.executed;
+  (* Workers own empty deques — nothing ever pushes to them — so any
+     work they did must have been stolen or injected. *)
+  for i = 0 to Pool.size pool - 1 do
+    check_int
+      (Printf.sprintf "worker %d never pops its own deque" i)
+      0 s.Pool.local_pops.(i)
+  done;
+  Pool.reset_stats pool;
+  let z = Pool.stats pool in
+  check_int "reset_stats zeroes" 0
+    (Array.fold_left ( + ) 0 z.Pool.executed
+    + Array.fold_left ( + ) 0 z.Pool.local_pops
+    + Array.fold_left ( + ) 0 z.Pool.steals
+    + Array.fold_left ( + ) 0 z.Pool.failed_steals
+    + Array.fold_left ( + ) 0 z.Pool.injected_runs)
+
+(* The tentpole determinism property: a pool rigged to maximise
+   stealing — oversubscribed workers, a deque that starts at capacity
+   2 and must grow mid-map, task costs that vary by orders of
+   magnitude — still produces exactly [List.map]'s output. *)
+let pool_forced_steal_identity =
+  QCheck.Test.make ~name:"forced-steal parallel_map = List.map" ~count:15
+    QCheck.(small_list small_nat)
+    (fun costs ->
+      let pool =
+        Pool.create ~oversubscribe:true ~num_domains:3 ~deque_capacity:2 ()
+      in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+      let f c =
+        (* spin proportional to the generated cost: uneven tasks leave
+           idle executors to steal the submitter's backlog *)
+        let acc = ref (c + 1) in
+        for _ = 1 to c * 500 do
+          acc := ((!acc * 31) + 7) land 0xFFFFFF
+        done;
+        (c, !acc)
+      in
+      Pool.parallel_map ~pool f costs = List.map f costs)
+
 (* ------------------------------------------------------------------ *)
 (* More distributions *)
 
@@ -784,6 +953,16 @@ let () =
           Alcotest.test_case "pareto support" `Quick test_pareto_support;
           Alcotest.test_case "normal quantile" `Quick test_normal_quantile_symmetry;
         ] );
+      ( "deque",
+        [
+          Alcotest.test_case "lifo pop" `Quick test_deque_lifo_pop;
+          Alcotest.test_case "fifo steal" `Quick test_deque_fifo_steal;
+          Alcotest.test_case "invalid capacity" `Quick
+            test_deque_invalid_capacity;
+          Alcotest.test_case "ring growth" `Quick test_deque_growth;
+          Alcotest.test_case "cross-domain steal stress" `Quick
+            test_deque_cross_domain_steal;
+        ] );
       ( "pool",
         [
           Alcotest.test_case "invalid size" `Quick test_pool_invalid_size;
@@ -802,7 +981,10 @@ let () =
           Alcotest.test_case "shutdown with pending jobs" `Quick
             test_pool_shutdown_with_pending_jobs;
           Alcotest.test_case "clamped to cores" `Quick test_pool_clamped_to_cores;
-        ] );
+          Alcotest.test_case "stats provenance invariant" `Quick
+            test_pool_stats_invariant;
+        ]
+        @ qsuite [ pool_forced_steal_identity ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;

@@ -273,6 +273,50 @@ let test_lulesh_trace_counts () =
     (Metrics.counter m (key ~kernel:"mOS" ~subsystem:"mem" ~name:"brk_grows" ()))
 
 (* ------------------------------------------------------------------ *)
+(* Pool_stats: the scheduler-counter bridge into Metrics *)
+
+let test_pool_stats_counters_sum () =
+  (* The bridge must conserve work: across every executor, the
+     provenance counters (local pops + steals + injector runs) and the
+     executed gauges each sum to the total number of jobs the map
+     ran. *)
+  let pool = Mk_engine.Pool.create ~oversubscribe:true ~num_domains:2 () in
+  Fun.protect ~finally:(fun () -> Mk_engine.Pool.shutdown pool) @@ fun () ->
+  let n = 256 in
+  ignore (Mk_engine.Pool.parallel_map ~pool succ (List.init n Fun.id));
+  let s = Mk_engine.Pool.stats pool in
+  let m = Pool_stats.to_metrics s in
+  let sum name =
+    List.fold_left
+      (fun acc ((k : Key.t), v) ->
+        if
+          k.Key.kernel = Pool_stats.kernel
+          && k.Key.subsystem = Pool_stats.subsystem
+          && k.Key.name = name
+        then
+          acc
+          + (match v with
+            | Metrics.Counter c -> c
+            | Metrics.Gauge { last; _ } -> last
+            | Metrics.Histogram _ -> 0)
+        else acc)
+      0 (Metrics.bindings m)
+  in
+  check_int "executed gauges sum to total jobs" n (sum "executed");
+  check_int "steal counters sum to total executed jobs" n
+    (sum "local_pops" + sum "steals" + sum "injected_runs");
+  (* One executed gauge per executor, attributed to its slot. *)
+  let gauges =
+    List.filter
+      (fun ((k : Key.t), _) -> k.Key.name = "executed")
+      (Metrics.bindings m)
+  in
+  check_int "one gauge per executor" s.Mk_engine.Pool.executors
+    (List.length gauges);
+  check_bool "json export well-formed" true
+    (match Pool_stats.to_json s with Mk_engine.Json.Obj _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism: sequential and -j 2 exports byte-identical *)
 
 let export_bytes ?pool seed =
@@ -329,6 +373,11 @@ let () =
           Alcotest.test_case "linux fixtures" `Quick test_attribution_linux;
           Alcotest.test_case "lulesh trace counts" `Quick
             test_lulesh_trace_counts;
+        ] );
+      ( "pool-stats",
+        [
+          Alcotest.test_case "counters sum to executed jobs" `Quick
+            test_pool_stats_counters_sum;
         ] );
       ( "determinism",
         Alcotest.test_case "exports non-empty" `Quick test_trace_nonempty
