@@ -1,5 +1,5 @@
 # Convenience aliases around dune; ci.sh remains the authoritative gate.
-.PHONY: build test lint lint-json doc ci trace-smoke
+.PHONY: build test lint lint-json doc ci trace-smoke chaos-smoke
 
 build:
 	dune build
@@ -26,6 +26,12 @@ trace-smoke:
 	  --jobs 2 -o bench/results/trace-smoke-par.json >/dev/null
 	cmp bench/results/trace-smoke-seq.json bench/results/trace-smoke-par.json
 	dune exec bench/main.exe -- check-json bench/results/trace-smoke-seq.json
+
+# The robustness gate from ci.sh, standalone: deterministic
+# harness-fault injection (retry, quarantine, kill-and-resume,
+# mid-write crash) — see docs/ROBUSTNESS.md.
+chaos-smoke:
+	dune exec simos -- chaos --smoke
 
 ci:
 	./ci.sh

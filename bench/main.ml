@@ -1267,10 +1267,11 @@ let perf ?tag ~smoke () =
 let check_results () =
   let check path =
     if Sys.file_exists path then
-      match Engine.Json.of_string (Engine.Atomic_file.read path) with
-      | Ok _ -> Printf.printf "%s parses\n" path
-      | Error e ->
-          Printf.eprintf "%s is corrupt: %s\n" path e;
+      match Engine.Atomic_file.read_json path with
+      | _ -> Printf.printf "%s parses\n" path
+      | exception Engine.Atomic_file.Corrupt { path; reason } ->
+          (* [reason] carries the parser's byte offset. *)
+          Printf.eprintf "%s is corrupt: %s\n" path reason;
           exit 1
     else Printf.printf "%s absent (run the results/faults target first)\n" path
   in
@@ -1282,16 +1283,11 @@ let check_results () =
    ci.sh runs it over the trace-smoke exports, and it works on any
    JSON artifact (a simos --trace output, a tagged results file). *)
 let check_json path =
-  match Engine.Atomic_file.read path with
-  | exception Sys_error e ->
-      Printf.eprintf "check-json: %s\n" e;
+  match Engine.Atomic_file.read_json path with
+  | _ -> Printf.printf "%s parses\n" path
+  | exception Engine.Atomic_file.Corrupt { path; reason } ->
+      Printf.eprintf "%s is corrupt: %s\n" path reason;
       exit 1
-  | contents -> (
-      match Engine.Json.of_string contents with
-      | Ok _ -> Printf.printf "%s parses\n" path
-      | Error e ->
-          Printf.eprintf "%s is corrupt: %s\n" path e;
-          exit 1)
 
 let targets =
   [

@@ -140,15 +140,54 @@ let format_arg =
     & opt (enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
     & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
 
+let journal_arg =
+  let doc =
+    "Record completed cells into an append-only journal at $(docv) as they \
+     finish, so a killed run can be resumed later with --resume."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the journal at $(docv): cells already recorded are replayed \
+     (output stays byte-identical to an uninterrupted run), only missing \
+     cells are recomputed, and new completions are appended."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH" ~doc)
+
+(* The journaled path runs cells under supervision; the summary goes
+   to stderr so stdout stays byte-identical fresh-vs-resumed. *)
+let with_journal (path, replay) cells regroup =
+  let j = Engine.Journal.open_ ~replay ~path () in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> Engine.Journal.close j)
+      (fun () -> Cluster.Experiment.supervised_points ~journal:j cells)
+  in
+  prerr_endline (Cluster.Report.supervision_summary s);
+  regroup s
+
 let sweep_cmd =
-  let action app runs seed format jobs =
+  let action app runs seed format jobs journal resume =
     let* app = Cluster.Validate.app app in
     let* runs = Cluster.Validate.runs runs in
     let* jobs = Cluster.Validate.jobs jobs in
+    let* jmode =
+      Cluster.Validate.journal_mode ~journal ~resume ~obs_active:false
+    in
     set_jobs jobs;
     let series =
-      Cluster.Experiment.compare_scenarios ~scenarios:Cluster.Scenario.trio ~app
-        ~runs ~seed ()
+      match jmode with
+      | None ->
+          Cluster.Experiment.compare_scenarios ~scenarios:Cluster.Scenario.trio
+            ~app ~runs ~seed ()
+      | Some mode ->
+          with_journal mode
+            (Cluster.Experiment.compare_cells ~scenarios:Cluster.Scenario.trio
+               ~app ~runs ~seed ())
+            (fun s ->
+              Cluster.Experiment.series_of_supervised
+                s.Cluster.Experiment.outcomes)
     in
     (match format with
     | `Csv -> print_string (Cluster.Report.csv ~app series)
@@ -169,18 +208,33 @@ let sweep_cmd =
   in
   let doc = "Sweep one application over its node counts under all three kernels." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(ret (const action $ app_arg $ runs_arg $ seed_arg $ format_arg $ jobs_arg))
+    Term.(
+      ret
+        (const action $ app_arg $ runs_arg $ seed_arg $ format_arg $ jobs_arg
+       $ journal_arg $ resume_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simos suite                                                         *)
 
 let suite_cmd =
-  let action runs seed format jobs trace_path metrics =
+  let action runs seed format jobs trace_path metrics journal resume =
     let* runs = Cluster.Validate.runs runs in
     let* jobs = Cluster.Validate.jobs jobs in
+    let* jmode =
+      Cluster.Validate.journal_mode ~journal ~resume
+        ~obs_active:(trace_path <> None || metrics)
+    in
     set_jobs jobs;
     let obs = make_obs ~trace_path ~metrics in
-    let suite = Cluster.Experiment.suite ?obs ~runs ~seed () in
+    let suite =
+      match jmode with
+      | None -> Cluster.Experiment.suite ?obs ~runs ~seed ()
+      | Some mode ->
+          let per_app = Cluster.Experiment.suite_cells ~runs ~seed () in
+          with_journal mode
+            (List.concat_map snd per_app)
+            (Cluster.Experiment.suite_of_supervised per_app)
+    in
     (match format with
     | `Table ->
         Printf.printf
@@ -209,7 +263,7 @@ let suite_cmd =
     Term.(
       ret
         (const action $ runs_arg $ seed_arg $ format_arg $ jobs_arg
-       $ trace_path_arg $ metrics_arg))
+       $ trace_path_arg $ metrics_arg $ journal_arg $ resume_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simos ltp                                                           *)
@@ -415,6 +469,31 @@ let trace_cmd =
         (const action $ app_arg $ trace_nodes_arg $ runs_arg $ seed_arg
        $ jobs_arg $ trace_out_arg $ metrics_arg))
 
+(* ------------------------------------------------------------------ *)
+(* simos chaos                                                         *)
+
+let chaos_cmd =
+  let smoke_arg =
+    let doc =
+      "Small cell grid — the deterministic CI gate (see ci.sh)."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let action seed smoke =
+    let report = Cluster.Chaos.run ~seed ~smoke () in
+    print_string (Cluster.Chaos.render report);
+    if Cluster.Chaos.passed report then `Ok ()
+    else `Error (false, "chaos self-test failed")
+  in
+  let doc =
+    "Inject faults into the harness itself — seeded task exceptions, a \
+     simulated mid-write crash, a kill-and-resume cycle against the run \
+     journal — and verify the robustness contracts: no lost cells, \
+     quarantine instead of pool poisoning, byte-identical resumed output.  \
+     Everything is seeded and simulated, so the self-test is deterministic."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(ret (const action $ seed_arg $ smoke_arg))
+
 let () =
   let doc = "lightweight multi-kernel operating system simulator" in
   let info = Cmd.info "simos" ~version ~doc in
@@ -423,5 +502,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; sweep_cmd; suite_cmd; faults_cmd; trace_cmd; ltp_cmd;
-            node_cmd; apps_cmd; calibration_cmd;
+            node_cmd; apps_cmd; calibration_cmd; chaos_cmd;
           ]))

@@ -29,6 +29,28 @@ dune exec test/test_engine.exe -- test atomic-file >/dev/null
 # Any results snapshot on disk must still be valid JSON.
 dune exec bench/main.exe -- check-results
 
+# Chaos gate (docs/ROBUSTNESS.md): deterministic harness-fault
+# injection — a transiently failing cell must recover through
+# retries, a permanently failing one must be quarantined without
+# touching its siblings, a journaled run killed mid-way (torn trailing
+# line included) must resume byte-identical, and a crash mid
+# Atomic_file.write must leave the previous complete file behind.
+dune exec simos -- chaos --smoke >/dev/null
+
+# Journal round-trip at the CLI boundary: the same sweep recorded to a
+# journal and then resumed from it must print byte-identical reports
+# (resume replays every cell, recomputing none).
+journal_tmp=$(mktemp -d)
+trap 'rm -rf "$journal_tmp"' EXIT
+dune exec simos -- sweep --app hpcg --runs 2 --seed 42 \
+  --journal "$journal_tmp/sweep.jsonl" >"$journal_tmp/fresh.txt" 2>/dev/null
+dune exec simos -- sweep --app hpcg --runs 2 --seed 42 \
+  --resume "$journal_tmp/sweep.jsonl" >"$journal_tmp/resumed.txt" 2>/dev/null
+cmp "$journal_tmp/fresh.txt" "$journal_tmp/resumed.txt" || {
+  echo "ci.sh: resumed sweep diverged from the journaled run" >&2
+  exit 1
+}
+
 # Hot-path gate: a tiny perf suite (DES events/sec, page-table
 # pages/sec, suite seq vs -j N).  The speedup gates are conditional on
 # the runner's core count (docs/PARALLELISM.md §3): on >= 2 cores -j 2

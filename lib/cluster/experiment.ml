@@ -19,6 +19,11 @@ type cell = {
 
 let default_runs = 5
 
+(* Repetition [i] of a cell perturbs the base seed deterministically;
+   part of the cell's identity (see [cell_key]), so it must never
+   change without bumping [cell_salt]. *)
+let seed_of c i = c.seed + (100 * i)
+
 let summarise ~nodes results =
   let sorted =
     List.sort (fun (a : Driver.result) b -> compare a.Driver.fom b.Driver.fom) results
@@ -71,7 +76,6 @@ let points ?pool ?obs cells =
   let jobs =
     List.concat_map (fun c -> List.init c.runs (fun i -> (c, i))) cells
   in
-  let seed_of c i = c.seed + (100 * i) in
   let regroup results =
     List.map2
       (fun c rs -> summarise ~nodes:c.nodes rs)
@@ -117,27 +121,39 @@ let point ?pool ?faults ?obs ~scenario ~app ~nodes ?(runs = default_runs)
   | [ p ] -> p
   | _ -> assert false
 
-let sweep ?pool ?obs ~scenario ~app ?node_counts ?(runs = default_runs)
+(* Cell builders — the one place each orchestrator's cell layout is
+   defined, shared with the supervised/journaled path so a journal
+   written by [simos sweep --journal] replays against exactly the
+   cells a fresh run would compute. *)
+let sweep_cells ~scenario ~app ?node_counts ?(runs = default_runs)
     ?(seed = 42) () =
   let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
-  let cells =
-    List.map
-      (fun nodes -> { scenario; app; nodes; faults = None; runs; seed })
-      counts
-  in
+  List.map
+    (fun nodes -> { scenario; app; nodes; faults = None; runs; seed })
+    counts
+
+let compare_cells ~scenarios ~app ?node_counts ?(runs = default_runs)
+    ?(seed = 42) () =
+  List.concat_map
+    (fun scenario -> sweep_cells ~scenario ~app ?node_counts ~runs ~seed ())
+    scenarios
+
+let suite_cells ?(apps = Mk_apps.Registry.all) ?node_counts
+    ?(runs = default_runs) ?(seed = 42) () =
+  List.map
+    (fun app ->
+      ( app,
+        compare_cells ~scenarios:Scenario.trio ~app ?node_counts ~runs ~seed
+          () ))
+    apps
+
+let sweep ?pool ?obs ~scenario ~app ?node_counts ?runs ?seed () =
+  let cells = sweep_cells ~scenario ~app ?node_counts ?runs ?seed () in
   { scenario_label = scenario.Scenario.label; points = points ?pool ?obs cells }
 
-let compare_scenarios ?pool ?obs ~scenarios ~app ?node_counts
-    ?(runs = default_runs) ?(seed = 42) () =
+let compare_scenarios ?pool ?obs ~scenarios ~app ?node_counts ?runs ?seed () =
   let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
-  let cells =
-    List.concat_map
-      (fun scenario ->
-        List.map
-          (fun nodes -> { scenario; app; nodes; faults = None; runs; seed })
-          counts)
-      scenarios
-  in
+  let cells = compare_cells ~scenarios ~app ?node_counts ?runs ?seed () in
   let k = List.length counts in
   List.map2
     (fun (scenario : Scenario.t) pts ->
@@ -165,8 +181,7 @@ let best_improvement ratio_lists =
     neg_infinity
     (List.concat ratio_lists)
 
-let suite ?pool ?obs ?(apps = Mk_apps.Registry.all) ?node_counts
-    ?(runs = default_runs) ?(seed = 42) () =
+let suite ?pool ?obs ?apps ?node_counts ?runs ?seed () =
   (* The whole evaluation — every (app × scenario × node count)
      repetition — as one flat batch.  This is where per-run tasks pay
      off most: apps differ in cost by orders of magnitude, and with
@@ -175,15 +190,7 @@ let suite ?pool ?obs ?(apps = Mk_apps.Registry.all) ?node_counts
      runs from the expensive cells instead of waiting out the
      barrier. *)
   let counts_of app = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
-  let cells_of app =
-    List.concat_map
-      (fun scenario ->
-        List.map
-          (fun nodes -> { scenario; app; nodes; faults = None; runs; seed })
-          (counts_of app))
-      Scenario.trio
-  in
-  let per_app = List.map (fun app -> (app, cells_of app)) apps in
+  let per_app = suite_cells ?apps ?node_counts ?runs ?seed () in
   let ps = points ?pool ?obs (List.concat_map snd per_app) in
   List.map2
     (fun (app, _) pts ->
@@ -196,3 +203,275 @@ let suite ?pool ?obs ?(apps = Mk_apps.Registry.all) ?node_counts
           (split_groups (List.map (fun _ -> k) Scenario.trio) pts) ))
     per_app
     (split_groups (List.map (fun (_, cs) -> List.length cs) per_app) ps)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised, journaled execution.                                    *)
+
+(* Version salt folded into every cell key.  Bump it whenever the
+   meaning of a cell changes — the seed schedule ([seed_of]), the
+   Driver's arithmetic, the summary statistics — so stale journal
+   entries miss instead of replaying wrong numbers. *)
+let cell_salt = "multikernel-cell/1"
+
+let cell_fingerprint c =
+  Mk_engine.Json.(
+    to_string
+      (Obj
+         [
+           ("salt", String cell_salt);
+           ("scenario", String c.scenario.Scenario.label);
+           ("app", String c.app.Mk_apps.App.name);
+           ("nodes", Int c.nodes);
+           ("runs", Int c.runs);
+           ("seed", Int c.seed);
+           ( "faults",
+             match c.faults with
+             | None -> Null
+             | Some p -> Mk_fault.Plan.to_json p );
+         ]))
+
+let cell_key c = Digest.to_hex (Digest.string (cell_fingerprint c))
+
+let cell_label c =
+  Printf.sprintf "%s/%s/n%d/r%d/s%d" c.app.Mk_apps.App.name
+    c.scenario.Scenario.label c.nodes c.runs c.seed
+
+(* Static work-unit cost of a cell — deterministic by construction
+   (no event counting, no clocks), which is all the budget needs to
+   be to catch a pathologically sized cell before it runs. *)
+let cell_units c = c.runs * c.nodes * c.app.Mk_apps.App.sim_iterations
+
+let result_to_json (r : Driver.result) =
+  Mk_engine.Json.(
+    Obj
+      [
+        ("nodes", Int r.Driver.nodes);
+        ("total_time", Int r.Driver.total_time);
+        ("solve_time", Int r.Driver.solve_time);
+        ("setup_time", Int r.Driver.setup_time);
+        ("first_iteration", Int r.Driver.first_iteration);
+        ("steady_iteration", Int r.Driver.steady_iteration);
+        ("fom", Float r.Driver.fom);
+        ("mcdram_fraction", Float r.Driver.mcdram_fraction);
+        ("faults", Int r.Driver.faults);
+        ("offloads_per_iteration", Int r.Driver.offloads_per_iteration);
+        ("failures", Int r.Driver.failures);
+        ("fault_events", Int r.Driver.fault_events);
+        ("dead_nodes", Int r.Driver.dead_nodes);
+        ("recoveries", Int r.Driver.recoveries);
+      ])
+
+exception Bad_field of string
+
+let int_field fields name =
+  match List.assoc_opt name fields with
+  | Some (Mk_engine.Json.Int i) -> i
+  | _ -> raise (Bad_field name)
+
+let float_field fields name =
+  match List.assoc_opt name fields with
+  | Some (Mk_engine.Json.Float f) -> f
+  | _ -> raise (Bad_field name)
+
+let result_of_json_exn fields : Driver.result =
+  {
+    Driver.nodes = int_field fields "nodes";
+    total_time = int_field fields "total_time";
+    solve_time = int_field fields "solve_time";
+    setup_time = int_field fields "setup_time";
+    first_iteration = int_field fields "first_iteration";
+    steady_iteration = int_field fields "steady_iteration";
+    fom = float_field fields "fom";
+    mcdram_fraction = float_field fields "mcdram_fraction";
+    faults = int_field fields "faults";
+    offloads_per_iteration = int_field fields "offloads_per_iteration";
+    failures = int_field fields "failures";
+    fault_events = int_field fields "fault_events";
+    dead_nodes = int_field fields "dead_nodes";
+    recoveries = int_field fields "recoveries";
+  }
+
+let point_to_json (p : point) =
+  Mk_engine.Json.(
+    Obj
+      [
+        ("nodes", Int p.nodes);
+        ("median_fom", Float p.median_fom);
+        ("min_fom", Float p.min_fom);
+        ("max_fom", Float p.max_fom);
+        ("median_result", result_to_json p.median_result);
+      ])
+
+let point_of_json json : (point, string) result =
+  match json with
+  | Mk_engine.Json.Obj fields -> (
+      try
+        let median_result =
+          match List.assoc_opt "median_result" fields with
+          | Some (Mk_engine.Json.Obj rf) -> result_of_json_exn rf
+          | _ -> raise (Bad_field "median_result")
+        in
+        Ok
+          {
+            nodes = int_field fields "nodes";
+            median_fom = float_field fields "median_fom";
+            min_fom = float_field fields "min_fom";
+            max_fom = float_field fields "max_fom";
+            median_result;
+          }
+      with Bad_field name -> Error (Printf.sprintf "bad field %S" name))
+  | _ -> Error "point is not an object"
+
+type outcome = Completed of point | Quarantined of { error : string; attempts : int }
+
+type supervised = {
+  outcomes : (cell * outcome) list;
+  computed : int;
+  replayed : int;
+  retries : int;
+  quarantined : int;
+  backoff_ns : int;
+}
+
+let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
+    cells =
+  List.iter
+    (fun c ->
+      if c.runs <= 0 then
+        invalid_arg "Experiment.supervised_points: runs must be positive")
+    cells;
+  let chaos = Option.value chaos ~default:(fun ~cell:_ ~attempt:_ -> ()) in
+  let indexed = List.mapi (fun i c -> (i, c, cell_key c)) cells in
+  (* One task per CELL (not per repetition): a cell is the unit of
+     retry, quarantine and journaling, so its repetitions must live
+     and die together.  Inside the task the repetitions run
+     sequentially with exactly the seeds [points] would use, so a
+     supervised run's numbers are identical to an unsupervised one. *)
+  let task (i, c, key) =
+    let replayed =
+      match
+        Option.bind journal (fun j -> Mk_engine.Journal.find j ~key)
+      with
+      | None -> None
+      | Some json -> (
+          (* An unparseable journal value is treated as a miss — the
+             cell is simply recomputed. *)
+          match point_of_json json with Ok p -> Some p | Error _ -> None)
+    in
+    match replayed with
+    | Some p -> `Replayed p
+    | None ->
+        let out =
+          Supervise.run
+            ~chaos:(fun ~attempt -> chaos ~cell:i ~attempt)
+            policy
+            (fun () ->
+              Supervise.check_budget policy ~units:(cell_units c);
+              summarise ~nodes:c.nodes
+                (List.init c.runs (fun r ->
+                     Driver.run ?faults:c.faults ~scenario:c.scenario
+                       ~app:c.app ~nodes:c.nodes ~seed:(seed_of c r) ())))
+        in
+        (* Record from the worker, as soon as the cell completes: a
+           kill between cells then loses nothing already done. *)
+        (match (out.Supervise.result, journal) with
+        | Ok p, Some j ->
+            Mk_engine.Journal.record j ~key ~label:(cell_label c)
+              (point_to_json p)
+        | _ -> ());
+        `Computed out
+  in
+  let raw = Mk_engine.Pool.parallel_map_result ?pool task indexed in
+  let zero =
+    {
+      outcomes = [];
+      computed = 0;
+      replayed = 0;
+      retries = 0;
+      quarantined = 0;
+      backoff_ns = 0;
+    }
+  in
+  let s =
+    List.fold_left2
+      (fun acc c r ->
+        match r with
+        | Ok (`Replayed p) ->
+            {
+              acc with
+              outcomes = (c, Completed p) :: acc.outcomes;
+              replayed = acc.replayed + 1;
+            }
+        | Ok (`Computed out) -> (
+            let retries = acc.retries + out.Supervise.attempts - 1 in
+            let backoff_ns = acc.backoff_ns + out.Supervise.backoff_ns in
+            match out.Supervise.result with
+            | Ok p ->
+                {
+                  acc with
+                  outcomes = (c, Completed p) :: acc.outcomes;
+                  computed = acc.computed + 1;
+                  retries;
+                  backoff_ns;
+                }
+            | Error { Supervise.error; attempts } ->
+                {
+                  acc with
+                  outcomes = (c, Quarantined { error; attempts }) :: acc.outcomes;
+                  quarantined = acc.quarantined + 1;
+                  retries;
+                  backoff_ns;
+                })
+        | Error (e, _bt) ->
+            (* The supervisor itself escaped (journal I/O failure,
+               …): still contained — sibling cells keep their
+               results.  [attempts = 0] marks a supervisor failure as
+               opposed to an exhausted retry budget. *)
+            {
+              acc with
+              outcomes =
+                (c, Quarantined { error = Printexc.to_string e; attempts = 0 })
+                :: acc.outcomes;
+              quarantined = acc.quarantined + 1;
+            })
+      zero cells raw
+  in
+  let s = { s with outcomes = List.rev s.outcomes } in
+  (* Supervision counters, emitted once on the submitting domain
+     after the barrier — deterministic, like every other obs merge. *)
+  if s.replayed > 0 then
+    Mk_obs.Hook.count ~subsystem:"supervise" ~name:"journal_hits" s.replayed;
+  if s.retries > 0 then
+    Mk_obs.Hook.count ~subsystem:"supervise" ~name:"retries" s.retries;
+  if s.quarantined > 0 then
+    Mk_obs.Hook.count ~subsystem:"supervise" ~name:"quarantines" s.quarantined;
+  s
+
+let series_of_supervised outcomes =
+  let labels =
+    List.fold_left
+      (fun acc (c, _) ->
+        let l = c.scenario.Scenario.label in
+        if List.mem l acc then acc else acc @ [ l ])
+      [] outcomes
+  in
+  List.map
+    (fun l ->
+      {
+        scenario_label = l;
+        points =
+          List.filter_map
+            (fun (c, o) ->
+              if c.scenario.Scenario.label = l then
+                match o with Completed p -> Some p | Quarantined _ -> None
+              else None)
+            outcomes;
+      })
+    labels
+
+let suite_of_supervised per_app s =
+  let sizes = List.map (fun (_, cs) -> List.length cs) per_app in
+  List.map2
+    (fun (app, _) block -> (app, series_of_supervised block))
+    per_app
+    (split_groups sizes s.outcomes)

@@ -67,3 +67,9 @@ val suite_json :
     [meta] fields (tag, wall-clock timings …), headline statistics,
     and the per-app {!json} exports.  Deterministic field order, so
     byte-identical inputs render byte-identical files. *)
+
+val supervision_summary : Experiment.supervised -> string
+(** The degradation report: computed/replayed/retried/quarantined
+    counts plus one line per quarantined cell (label, attempts,
+    error).  The CLI prints this to {e stderr} so journaled stdout
+    stays byte-identical between fresh and resumed runs. *)

@@ -1,0 +1,64 @@
+exception Transient of string
+
+exception Budget_exceeded of { units : int; budget : int }
+
+let () =
+  Printexc.register_printer (function
+    | Transient reason -> Some (Printf.sprintf "Supervise.Transient(%s)" reason)
+    | Budget_exceeded { units; budget } ->
+        Some
+          (Printf.sprintf
+             "Supervise.Budget_exceeded(%d work units over budget %d)" units
+             budget)
+    | _ -> None)
+
+type policy = {
+  retry : Mk_fault.Retry.policy;
+  budget : int option;
+  classify : exn -> [ `Transient | `Permanent ];
+}
+
+let default_classify = function Transient _ -> `Transient | _ -> `Permanent
+
+let default =
+  { retry = Mk_fault.Retry.default_mpi; budget = None; classify = default_classify }
+
+let check_budget policy ~units =
+  match policy.budget with
+  | Some budget when units > budget -> raise (Budget_exceeded { units; budget })
+  | _ -> ()
+
+type failure = { error : string; attempts : int }
+
+type 'a outcome = {
+  result : ('a, failure) result;
+  attempts : int;
+  backoff_ns : int;
+}
+
+let run ?(chaos = fun ~attempt:_ -> ()) policy f =
+  let max_attempts = policy.retry.Mk_fault.Retry.max_retries + 1 in
+  let rec go attempt backoff_ns =
+    match
+      chaos ~attempt;
+      f ()
+    with
+    | v -> { result = Ok v; attempts = attempt; backoff_ns }
+    | exception e -> (
+        match policy.classify e with
+        | `Transient when attempt < max_attempts ->
+            (* The backoff is priced on the simulated clock (same
+               policy arithmetic the in-model retries use) — the
+               harness never sleeps. *)
+            let delay =
+              Mk_fault.Retry.backoff_delay policy.retry ~retry:attempt
+            in
+            go (attempt + 1) (backoff_ns + delay)
+        | `Transient | `Permanent ->
+            {
+              result = Error { error = Printexc.to_string e; attempts = attempt };
+              attempts = attempt;
+              backoff_ns;
+            })
+  in
+  go 1 0

@@ -1,0 +1,59 @@
+(** Per-cell supervision: retry, budget, quarantine.
+
+    The fault layer ({!Mk_fault}) models crash-tolerance {e inside}
+    the simulation; this module applies the same discipline to the
+    harness itself.  A supervised computation (one experiment cell)
+    gets a bounded number of attempts under a {!Mk_fault.Retry.policy}
+    — transient failures retry with the policy's exponential backoff,
+    {e priced on the simulated clock, never slept} — and a computation
+    that keeps failing (or fails permanently, or exceeds its work-unit
+    budget) is {e quarantined}: recorded as a failure with its attempt
+    count instead of poisoning the pool and discarding sibling cells.
+
+    Determinism: everything here is pure control flow around the
+    supervised thunk.  Retries re-run the same deterministic
+    simulation, backoff is arithmetic, and the budget is a static
+    work-unit count — no wall clock anywhere (mklint R1). *)
+
+exception Transient of string
+(** Raise from a supervised computation (or classify foreign
+    exceptions into it) to request a retry. *)
+
+exception Budget_exceeded of { units : int; budget : int }
+(** Raised by {!check_budget}; permanent by {!default_classify}. *)
+
+type policy = {
+  retry : Mk_fault.Retry.policy;
+      (** attempt count and backoff shape; [max_retries + 1] attempts total *)
+  budget : int option;
+      (** work-unit cap per cell ([runs x nodes x sim_iterations] at
+          the experiment layer); [None] means unbounded *)
+  classify : exn -> [ `Transient | `Permanent ];
+      (** transient failures retry, permanent ones quarantine at once *)
+}
+
+val default : policy
+(** {!Mk_fault.Retry.default_mpi} attempts/backoff, no budget,
+    {!default_classify}. *)
+
+val default_classify : exn -> [ `Transient | `Permanent ]
+(** [Transient _] is transient; everything else is permanent. *)
+
+val check_budget : policy -> units:int -> unit
+(** Raises {!Budget_exceeded} when the policy carries a budget and
+    [units] exceeds it. *)
+
+type failure = { error : string; attempts : int }
+(** A quarantined computation: the printed exception and how many
+    attempts were made before giving up. *)
+
+type 'a outcome = {
+  result : ('a, failure) result;
+  attempts : int;  (** attempts actually made (1 = first try succeeded) *)
+  backoff_ns : int;  (** simulated backoff accumulated across retries *)
+}
+
+val run : ?chaos:(attempt:int -> unit) -> policy -> (unit -> 'a) -> 'a outcome
+(** [run policy f] evaluates [f ()] under supervision.  [chaos] is the
+    fault-injection hook used by {!Mk_cluster.Chaos}: it runs before
+    each attempt and may raise to simulate that attempt failing. *)

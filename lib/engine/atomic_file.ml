@@ -1,20 +1,82 @@
+exception Corrupt of { path : string; reason : string }
+exception Crashed
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { path; reason } ->
+        Some (Printf.sprintf "Atomic_file.Corrupt(%s: %s)" path reason)
+    | Crashed -> Some "Atomic_file.Crashed (simulated mid-write crash)"
+    | _ -> None)
+
 let tmp_path path = path ^ ".tmp"
 
+(* Monotonic per-process stamp so two writers racing on the same
+   destination never share a staging file; combined with the pid it is
+   unique across concurrent processes too. *)
+let stage_counter = Atomic.make 0 (* mklint: allow R4 — process-unique stamp, never read as data *)
+
+let stage_path path =
+  Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+    (Atomic.fetch_and_add stage_counter 1)
+
+(* Test hook: when set to [Some n], the next [write] raises [Crashed]
+   after staging exactly [n] bytes, leaving the torn staging file on
+   disk (a real crash does not clean up after itself). *)
+let crash_after : int option ref = ref None (* mklint: allow R4 — test hook, set only from single-domain test code *)
+
+let with_crash_after_bytes n f =
+  crash_after := Some n;
+  Fun.protect ~finally:(fun () -> crash_after := None) f
+
+let fsync_channel oc = try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let fsync_dir path =
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let write path contents =
-  let tmp = tmp_path path in
+  let tmp = stage_path path in
   let oc = open_out_bin tmp in
   (try
+     (match !crash_after with
+     | Some n when n < String.length contents ->
+         output_substring oc contents 0 n;
+         flush oc;
+         fsync_channel oc;
+         close_out_noerr oc;
+         (* Simulated kill: the torn staging file stays behind. *)
+         raise Crashed
+     | _ -> ());
      output_string oc contents;
-     flush oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
+     flush oc;
+     fsync_channel oc
+   with
+  | Crashed -> raise Crashed
+  | e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir path
 
 let read path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match open_in_bin path with
+  | exception Sys_error reason -> raise (Corrupt { path; reason })
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try really_input_string ic (in_channel_length ic)
+          with Sys_error reason | Failure reason ->
+            raise (Corrupt { path; reason }))
+
+let read_json path =
+  let contents = read path in
+  match Json.of_string contents with
+  | Ok json -> json
+  | Error reason -> raise (Corrupt { path; reason })

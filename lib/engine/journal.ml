@@ -1,0 +1,80 @@
+type t = {
+  path : string;
+  replay : bool;
+  seen : (string, Json.t) Hashtbl.t;
+  mutable loaded : int;
+  mutable torn : int;
+  oc : out_channel;
+  mutex : Mutex.t;
+}
+
+let parse_line line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok (Json.Obj fields) -> (
+      match (List.assoc_opt "key" fields, List.assoc_opt "value" fields) with
+      | Some (Json.String key), Some value -> Some (key, value)
+      | _ -> None)
+  | Ok _ -> None
+
+let load t path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec loop () =
+            match input_line ic with
+            | exception End_of_file -> ()
+            | line when String.trim line = "" -> loop ()
+            | line -> (
+                match parse_line line with
+                | Some (key, value) ->
+                    (* Later entries win: a resumed run may re-record a
+                       cell that was journaled before an older crash. *)
+                    Hashtbl.replace t.seen key value;
+                    t.loaded <- t.loaded + 1;
+                    loop ()
+                | None ->
+                    (* A torn trailing line from a killed writer; count
+                       it and stop — nothing after it is trustworthy. *)
+                    t.torn <- t.torn + 1)
+          in
+          loop ())
+
+let open_ ?(replay = true) ~path () =
+  let t =
+    {
+      path;
+      replay;
+      seen = Hashtbl.create 64;
+      loaded = 0;
+      torn = 0;
+      oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path;
+      mutex = Mutex.create ();
+    }
+  in
+  load t path;
+  t
+
+let find t ~key = if t.replay then Hashtbl.find_opt t.seen key else None
+
+let record t ~key ~label value =
+  let entry =
+    Json.Obj
+      [ ("key", Json.String key); ("label", Json.String label); ("value", value) ]
+  in
+  let line = Json.to_string entry in
+  Mutex.protect t.mutex (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      (try Unix.fsync (Unix.descr_of_out_channel t.oc)
+       with Unix.Unix_error _ -> ());
+      Hashtbl.replace t.seen key value)
+
+let loaded t = t.loaded
+let torn t = t.torn
+let path t = t.path
+let close t = Mutex.protect t.mutex (fun () -> close_out_noerr t.oc)

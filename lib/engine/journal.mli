@@ -1,0 +1,46 @@
+(** Append-only run journal: crash-safe memoization of completed
+    experiment cells.
+
+    Each line of the journal file is one compact JSON object
+    [{"key": <hash>, "label": <human label>, "value": <result>}].
+    [key] is a content hash of everything the cell's result depends on
+    (seed, scenario, config, code-version salt — see
+    {!Mk_cluster.Experiment.cell_key}); [label] exists only for
+    humans reading the file.  Entries are appended, flushed, and
+    fsynced as each cell completes, so a killed run loses at most the
+    cell being written — and a torn trailing line is detected and
+    ignored on reload.
+
+    The journal is a lookup table, not an ordered log: the byte order
+    of entries depends on parallel completion order and is explicitly
+    {e not} part of any byte-identity contract.  Resume identity comes
+    from the report renderer consuming cells in input order, whether
+    each cell was replayed or recomputed. *)
+
+type t
+
+val open_ : ?replay:bool -> path:string -> unit -> t
+(** Open (creating if absent) the journal at [path] for appending,
+    first loading any existing entries.  Later duplicate keys win.  A
+    malformed line stops the load and is counted in {!torn}.  When
+    [replay] is [false] (record-only mode, [--journal] without
+    [--resume]) the loaded entries are kept for accounting but
+    {!find} always misses. *)
+
+val find : t -> key:string -> Json.t option
+(** Replay lookup.  [None] when the key is absent or the journal was
+    opened with [~replay:false]. *)
+
+val record : t -> key:string -> label:string -> Json.t -> unit
+(** Append one completed cell.  Thread-safe (worker tasks record as
+    they finish); the line is flushed and fsynced before returning. *)
+
+val loaded : t -> int
+(** Entries successfully loaded from the pre-existing file. *)
+
+val torn : t -> int
+(** Malformed (torn) lines encountered during load. *)
+
+val path : t -> string
+
+val close : t -> unit

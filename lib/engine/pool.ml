@@ -425,7 +425,7 @@ let get_default () =
    another domain's map already holds slot [size] (unusual but
    legal), this map routes its tasks through the injector instead and
    helps slotlessly. *)
-let parallel_map_on pool f xs =
+let parallel_run_on pool f xs =
   Mutex.lock pool.mutex;
   (match pool.poisoned with
   | Some (e, bt) ->
@@ -550,11 +550,23 @@ let parallel_map_on pool f xs =
   | `Done ->
       Array.to_list
         (Array.map
-           (function
-             | Some (Ok v) -> v
-             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-             | None -> assert false)
+           (function Some r -> r | None -> assert false)
            results)
+
+let parallel_map_on pool f xs =
+  let rs = parallel_run_on pool f xs in
+  (* First exception in input order wins, after all tasks finished. *)
+  List.iter
+    (function
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    rs;
+  List.map (function Ok v -> v | Error _ -> assert false) rs
+
+let seq_map_result f xs =
+  List.map
+    (fun x ->
+      try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))
+    xs
 
 let parallel_map ?pool f xs =
   if Domain.DLS.get in_worker then List.map f xs
@@ -563,3 +575,11 @@ let parallel_map ?pool f xs =
     match pool with
     | Some p when List.compare_length_with xs 2 >= 0 -> parallel_map_on p f xs
     | _ -> List.map f xs
+
+let parallel_map_result ?pool f xs =
+  if Domain.DLS.get in_worker then seq_map_result f xs
+  else
+    let pool = match pool with Some _ as p -> p | None -> get_default () in
+    match pool with
+    | Some p when List.compare_length_with xs 2 >= 0 -> parallel_run_on p f xs
+    | _ -> seq_map_result f xs

@@ -370,6 +370,177 @@ let test_validate_fault_args () =
   check_bool "rates junk" true (Result.is_error (Validate.rates "0.5,x"));
   check_bool "rates negative" true (Result.is_error (Validate.rates "-1"))
 
+(* ------------------------------------------------------------------ *)
+(* Supervised cells, run journal, chaos gate                           *)
+
+let small_cells () =
+  Experiment.compare_cells ~scenarios:Scenario.trio ~app:(app "hpcg")
+    ~node_counts:[ 2 ] ~runs:2 ()
+
+let with_temp_journal f =
+  let path = Filename.temp_file "mk-test-journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_supervised_matches_points () =
+  let cells = small_cells () in
+  let s = Experiment.supervised_points cells in
+  check_int "all computed" (List.length cells) s.Experiment.computed;
+  check_int "none replayed" 0 s.Experiment.replayed;
+  check_int "none quarantined" 0 s.Experiment.quarantined;
+  List.iter2
+    (fun p (_, o) ->
+      match o with
+      | Experiment.Completed q -> check_bool "point equals baseline" true (p = q)
+      | Experiment.Quarantined _ -> Alcotest.fail "unexpected quarantine")
+    (Experiment.points cells)
+    s.Experiment.outcomes
+
+let test_quarantine_keeps_siblings () =
+  let cells = small_cells () in
+  let bad = 1 in
+  let chaos ~cell ~attempt:_ = if cell = bad then failwith "injected-permanent" in
+  let s = Experiment.supervised_points ~chaos cells in
+  check_int "one quarantined" 1 s.Experiment.quarantined;
+  check_int "permanent failure never retried" 0 s.Experiment.retries;
+  check_int "siblings computed" (List.length cells - 1) s.Experiment.computed;
+  List.iteri
+    (fun i ((_, o), p) ->
+      match o with
+      | Experiment.Quarantined { error; attempts } ->
+          check_int "failing cell index" bad i;
+          check_int "one attempt" 1 attempts;
+          check_bool "error preserved" true (contains error "injected-permanent")
+      | Experiment.Completed q ->
+          check_bool "sibling equals unsupervised baseline" true (p = q))
+    (List.combine s.Experiment.outcomes (Experiment.points cells))
+
+let test_transient_recovers () =
+  let cells = small_cells () in
+  let chaos ~cell ~attempt =
+    if cell = 0 && attempt <= 2 then raise (Supervise.Transient "flaky")
+  in
+  let s = Experiment.supervised_points ~chaos cells in
+  check_int "recovered, none quarantined" 0 s.Experiment.quarantined;
+  check_int "two retries" 2 s.Experiment.retries;
+  let p = Supervise.default.Supervise.retry in
+  check_int "backoff priced, never slept"
+    (Mk_fault.Retry.backoff_delay p ~retry:1 + Mk_fault.Retry.backoff_delay p ~retry:2)
+    s.Experiment.backoff_ns
+
+let test_budget_quarantines () =
+  let cells = small_cells () in
+  let policy = { Supervise.default with Supervise.budget = Some 1 } in
+  let s = Experiment.supervised_points ~policy cells in
+  check_int "every cell over budget" (List.length cells) s.Experiment.quarantined;
+  check_int "nothing computed" 0 s.Experiment.computed;
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Experiment.Quarantined { error; attempts } ->
+          check_int "budget failure is permanent" 1 attempts;
+          check_bool "error names the budget" true (contains error "budget")
+      | Experiment.Completed _ -> Alcotest.fail "expected quarantine")
+    s.Experiment.outcomes
+
+let test_journal_resume_identity () =
+  with_temp_journal (fun path ->
+      let cells = small_cells () in
+      let k = 1 in
+      let prefix = List.filteri (fun i _ -> i < k) cells in
+      let j = Mk_engine.Journal.open_ ~path () in
+      let killed =
+        Fun.protect
+          ~finally:(fun () -> Mk_engine.Journal.close j)
+          (fun () -> Experiment.supervised_points ~journal:j prefix)
+      in
+      check_int "prefix computed before the kill" k killed.Experiment.computed;
+      let j = Mk_engine.Journal.open_ ~path () in
+      let resumed =
+        Fun.protect
+          ~finally:(fun () -> Mk_engine.Journal.close j)
+          (fun () -> Experiment.supervised_points ~journal:j cells)
+      in
+      check_int "prefix replayed" k resumed.Experiment.replayed;
+      check_int "rest computed" (List.length cells - k) resumed.Experiment.computed;
+      let fresh = Experiment.supervised_points cells in
+      List.iter2
+        (fun (_, a) (_, b) ->
+          check_bool "replayed outcome bit-identical to fresh" true (a = b))
+        fresh.Experiment.outcomes resumed.Experiment.outcomes)
+
+let test_point_json_roundtrip () =
+  let cells = small_cells () in
+  List.iter
+    (fun p ->
+      match Experiment.point_of_json (Experiment.point_to_json p) with
+      | Ok q -> check_bool "roundtrip exact" true (p = q)
+      | Error m -> Alcotest.fail m)
+    (Experiment.points cells);
+  check_bool "malformed json is an Error" true
+    (Result.is_error (Experiment.point_of_json Mk_engine.Json.Null))
+
+let test_cell_key_stability () =
+  let cells = small_cells () in
+  let c = List.hd cells in
+  let keys = List.map Experiment.cell_key cells in
+  check_bool "keys distinct" true
+    (List.length (List.sort_uniq compare keys) = List.length keys);
+  check_bool "key deterministic" true
+    (Experiment.cell_key c = Experiment.cell_key c);
+  check_bool "seed changes the key" true
+    (Experiment.cell_key { c with Experiment.seed = c.Experiment.seed + 1 }
+    <> Experiment.cell_key c);
+  check_bool "salt in fingerprint" true
+    (contains (Experiment.cell_fingerprint c) Experiment.cell_salt)
+
+let test_supervise_obs_counters () =
+  let r = Mk_obs.Recorder.make ~label:"harness" ~nodes:1 ~seed:0 () in
+  let cells = small_cells () in
+  let chaos ~cell ~attempt =
+    if cell = 0 && attempt = 1 then raise (Supervise.Transient "flaky")
+    else if cell = 1 then failwith "perma"
+  in
+  let s =
+    Mk_obs.Hook.with_recorder r (fun () ->
+        Experiment.supervised_points ~chaos cells)
+  in
+  check_int "one retry" 1 s.Experiment.retries;
+  check_int "one quarantine" 1 s.Experiment.quarantined;
+  let counter name =
+    Mk_obs.Metrics.counter
+      (Mk_obs.Recorder.metrics r)
+      (Mk_obs.Key.v ~kernel:"harness" ~subsystem:"supervise" ~name ())
+  in
+  check_int "retries counter" 1 (counter "retries");
+  check_int "quarantines counter" 1 (counter "quarantines");
+  check_int "no journal hits counted" 0 (counter "journal_hits")
+
+let test_chaos_smoke () =
+  let report = Chaos.run ~smoke:true () in
+  if not (Chaos.passed report) then Alcotest.fail (Chaos.render report)
+
+let test_validate_journal_mode () =
+  let jm = Validate.journal_mode in
+  check_bool "neither flag" true
+    (jm ~journal:None ~resume:None ~obs_active:false = Ok None);
+  check_bool "journal records" true
+    (jm ~journal:(Some "j.jsonl") ~resume:None ~obs_active:false
+    = Ok (Some ("j.jsonl", false)));
+  check_bool "resume replays" true
+    (jm ~journal:None ~resume:(Some "j.jsonl") ~obs_active:false
+    = Ok (Some ("j.jsonl", true)));
+  check_bool "mutually exclusive" true
+    (Result.is_error
+       (jm ~journal:(Some "a") ~resume:(Some "b") ~obs_active:false));
+  check_bool "obs + journal refused" true
+    (Result.is_error (jm ~journal:(Some "a") ~resume:None ~obs_active:true));
+  check_bool "obs + resume refused" true
+    (Result.is_error (jm ~journal:None ~resume:(Some "a") ~obs_active:true));
+  check_bool "obs alone fine" true
+    (jm ~journal:None ~resume:None ~obs_active:true = Ok None)
+
 let () =
   Alcotest.run "mk_cluster"
     [
@@ -416,5 +587,20 @@ let () =
           Alcotest.test_case "scenario" `Quick test_validate_scenario;
           Alcotest.test_case "ranges" `Quick test_validate_ranges;
           Alcotest.test_case "fault args" `Quick test_validate_fault_args;
+          Alcotest.test_case "journal mode" `Quick test_validate_journal_mode;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "matches points" `Quick test_supervised_matches_points;
+          Alcotest.test_case "quarantine keeps siblings" `Quick
+            test_quarantine_keeps_siblings;
+          Alcotest.test_case "transient recovers" `Quick test_transient_recovers;
+          Alcotest.test_case "budget quarantines" `Quick test_budget_quarantines;
+          Alcotest.test_case "journal resume identity" `Quick
+            test_journal_resume_identity;
+          Alcotest.test_case "point json roundtrip" `Quick test_point_json_roundtrip;
+          Alcotest.test_case "cell key stability" `Quick test_cell_key_stability;
+          Alcotest.test_case "obs counters" `Quick test_supervise_obs_counters;
+          Alcotest.test_case "chaos smoke" `Slow test_chaos_smoke;
         ] );
     ]

@@ -467,13 +467,21 @@ let test_json_roundtrip () =
 (* ------------------------------------------------------------------ *)
 (* Atomic_file *)
 
+(* Remove the file plus any staging residue ([.tmp] of either the
+   legacy or the pid/counter-unique naming scheme, torn or not). *)
 let in_temp name f =
   let path = Filename.temp_file "mk_atomic" name in
   Fun.protect
     ~finally:(fun () ->
-      if Sys.file_exists path then Sys.remove path;
-      let tmp = Atomic_file.tmp_path path in
-      if Sys.file_exists tmp then Sys.remove tmp)
+      let dir = Filename.dirname path and base = Filename.basename path in
+      Array.iter
+        (fun entry ->
+          if
+            String.length entry >= String.length base
+            && String.sub entry 0 (String.length base) = base
+          then
+            try Sys.remove (Filename.concat dir entry) with Sys_error _ -> ())
+        (Sys.readdir dir))
     (fun () -> f path)
 
 let test_atomic_roundtrip () =
@@ -500,6 +508,115 @@ let test_atomic_partial_write_invisible () =
       check_bool "and it still parses" true
         (Json.of_string (Atomic_file.read path)
         = Ok (Json.Obj [ ("ok", Json.Bool true) ])))
+
+let test_atomic_crash_hook () =
+  in_temp "crash" (fun path ->
+      Atomic_file.write path "{\"gen\":1}";
+      (match
+         Atomic_file.with_crash_after_bytes 4 (fun () ->
+             Atomic_file.write path "{\"gen\":2}")
+       with
+      | () -> Alcotest.fail "crash hook did not fire"
+      | exception Atomic_file.Crashed -> ());
+      Alcotest.(check string)
+        "old snapshot intact" "{\"gen\":1}" (Atomic_file.read path);
+      (* A real kill does not clean up: the torn staging file stays. *)
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let residue =
+        Array.exists
+          (fun entry ->
+            String.length entry > String.length base
+            && String.sub entry 0 (String.length base) = base
+            && Filename.check_suffix entry ".tmp")
+          (Sys.readdir dir)
+      in
+      check_bool "torn staging file left behind" true residue;
+      (* Hook disarmed on exit: the next write lands normally. *)
+      Atomic_file.write path "{\"gen\":2}";
+      Alcotest.(check string)
+        "retry lands" "{\"gen\":2}" (Atomic_file.read path))
+
+let test_atomic_corrupt_typed () =
+  in_temp "corrupt" (fun path ->
+      let missing = path ^ ".does-not-exist" in
+      (match Atomic_file.read missing with
+      | _ -> Alcotest.fail "read of missing file succeeded"
+      | exception Atomic_file.Corrupt { path = p; _ } ->
+          Alcotest.(check string) "corrupt names the path" missing p);
+      Atomic_file.write path "[1,]";
+      match Atomic_file.read_json path with
+      | _ -> Alcotest.fail "parsed corrupt JSON"
+      | exception Atomic_file.Corrupt { reason; _ } ->
+          check_bool "reason carries the byte offset" true
+            (contains_substring reason "3"))
+
+let test_atomic_concurrent_writers () =
+  (* Unique staging names mean two racing writers cannot tear each
+     other's temp file: whoever renames last wins with a complete
+     payload. *)
+  in_temp "race" (fun path ->
+      let a = String.make 4096 'a' and b = String.make 4096 'b' in
+      let writer payload () =
+        for _ = 1 to 50 do
+          Atomic_file.write path payload
+        done
+      in
+      let da = Domain.spawn (writer a) and db = Domain.spawn (writer b) in
+      Domain.join da;
+      Domain.join db;
+      let final = Atomic_file.read path in
+      check_bool "one complete payload wins" true (final = a || final = b))
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let test_journal_roundtrip () =
+  in_temp "journal" (fun path ->
+      Sys.remove path;
+      let j = Journal.open_ ~path () in
+      Journal.record j ~key:"a" ~label:"cell a" (Json.Int 1);
+      Journal.record j ~key:"b" ~label:"cell b"
+        (Json.Obj [ ("x", Json.Float 0.5) ]);
+      check_bool "find after record" true
+        (Journal.find j ~key:"a" = Some (Json.Int 1));
+      Journal.close j;
+      let j2 = Journal.open_ ~path () in
+      check_int "loaded" 2 (Journal.loaded j2);
+      check_int "torn" 0 (Journal.torn j2);
+      check_bool "replayed value" true
+        (Journal.find j2 ~key:"b" = Some (Json.Obj [ ("x", Json.Float 0.5) ]));
+      check_bool "missing key misses" true (Journal.find j2 ~key:"c" = None);
+      Journal.close j2)
+
+let test_journal_torn_tail () =
+  in_temp "jtorn" (fun path ->
+      Sys.remove path;
+      let j = Journal.open_ ~path () in
+      Journal.record j ~key:"a" ~label:"a" (Json.Int 1);
+      Journal.record j ~key:"b" ~label:"b" (Json.Int 2);
+      Journal.close j;
+      (* A killed writer leaves half a line; reload must keep the
+         complete prefix and count the torn tail. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "{\"key\":\"c\",\"la";
+      close_out oc;
+      let j2 = Journal.open_ ~path () in
+      check_int "complete entries load" 2 (Journal.loaded j2);
+      check_int "torn line counted" 1 (Journal.torn j2);
+      check_bool "good entries replay" true
+        (Journal.find j2 ~key:"b" = Some (Json.Int 2));
+      Journal.close j2)
+
+let test_journal_record_only () =
+  in_temp "jrec" (fun path ->
+      Sys.remove path;
+      let j = Journal.open_ ~path () in
+      Journal.record j ~key:"a" ~label:"a" (Json.Int 1);
+      Journal.close j;
+      let j2 = Journal.open_ ~replay:false ~path () in
+      check_int "entries still counted" 1 (Journal.loaded j2);
+      check_bool "but never replayed" true (Journal.find j2 ~key:"a" = None);
+      Journal.close j2)
 
 (* ------------------------------------------------------------------ *)
 (* Deque: the Chase–Lev ring under the work-stealing pool *)
@@ -635,6 +752,36 @@ let test_pool_exception_propagates () =
     "usable after failure" [ 2; 4 ]
     (Pool.parallel_map ~pool (fun x -> 2 * x) [ 1; 2 ]);
   Pool.shutdown pool
+
+let test_pool_map_result_keeps_siblings () =
+  let pool = Pool.create ~oversubscribe:true ~num_domains:3 () in
+  let rs =
+    Pool.parallel_map_result ~pool
+      (fun i ->
+        if i mod 7 = 3 then failwith (Printf.sprintf "boom %d" i) else i * i)
+      (List.init 20 Fun.id)
+  in
+  check_int "every slot present" 20 (List.length rs);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+          check_bool "only non-raising slots succeed" true (i mod 7 <> 3);
+          check_int "sibling survives with its value" (i * i) v
+      | Error (Failure msg, _) ->
+          check_bool "failure in its own slot" true
+            (i mod 7 = 3 && msg = Printf.sprintf "boom %d" i)
+      | Error _ -> Alcotest.fail "unexpected exception")
+    rs;
+  (* The pool is not poisoned: a plain map still works after. *)
+  Alcotest.(check (list int))
+    "usable after failures" [ 2; 4 ]
+    (Pool.parallel_map ~pool (fun x -> 2 * x) [ 1; 2 ]);
+  Pool.shutdown pool;
+  (* The sequential fallback captures exceptions the same way. *)
+  match Pool.parallel_map_result (fun i -> if i = 1 then failwith "x" else i) [ 0; 1 ] with
+  | [ Ok 0; Error (Failure msg, _) ] when msg = "x" -> ()
+  | _ -> Alcotest.fail "sequential fallback differs"
 
 let test_pool_reuse () =
   let pool = Pool.create ~oversubscribe:true ~num_domains:2 () in
@@ -943,6 +1090,16 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_atomic_roundtrip;
           Alcotest.test_case "partial write invisible" `Quick
             test_atomic_partial_write_invisible;
+          Alcotest.test_case "crash hook" `Quick test_atomic_crash_hook;
+          Alcotest.test_case "typed corruption" `Quick test_atomic_corrupt_typed;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_atomic_concurrent_writers;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "record-only" `Quick test_journal_record_only;
         ] );
       ( "distributions",
         [
@@ -969,6 +1126,8 @@ let () =
           Alcotest.test_case "ordering preserved" `Quick test_pool_ordering;
           Alcotest.test_case "exception propagates" `Quick
             test_pool_exception_propagates;
+          Alcotest.test_case "map_result keeps siblings" `Quick
+            test_pool_map_result_keeps_siblings;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "single worker degenerate" `Quick
             test_pool_single_worker_degenerate;

@@ -35,6 +35,54 @@ let test_give_up_time () =
   (* 4 timeouts + backoffs 200/400/800 us. *)
   check_int "mpi" 3_400_000 (Retry.give_up_time Retry.default_mpi)
 
+(* The harness supervisor (Mk_cluster.Supervise) now reuses these
+   policies, so their edge cases get property coverage too. *)
+let policy_gen =
+  QCheck.(
+    map
+      (fun (timeout, max_retries, backoff, cap_extra) ->
+        {
+          Retry.timeout;
+          max_retries;
+          backoff;
+          backoff_cap = backoff + cap_extra;
+        })
+      (quad (int_range 0 1_000_000) (int_range 0 20) (int_range 1 500_000)
+         (int_range 0 2_000_000)))
+
+let backoff_qcheck =
+  QCheck.Test.make
+    ~name:"backoff_delay: rejects retry<1, monotone, capped" ~count:200
+    QCheck.(pair policy_gen (int_range 1 62))
+    (fun (p, retry) ->
+      (match Retry.backoff_delay p ~retry:0 with
+      | exception Invalid_argument _ -> ()
+      | _ -> QCheck.Test.fail_report "retry=0 accepted");
+      let d = Retry.backoff_delay p ~retry in
+      let d' = Retry.backoff_delay p ~retry:(retry + 1) in
+      d <= d' && d <= p.Retry.backoff_cap && d >= 0)
+
+let retry_time_qcheck =
+  QCheck.Test.make
+    ~name:"retry_time: zero at 0, monotone, clamped at give_up_time"
+    ~count:200
+    QCheck.(pair policy_gen (int_range 0 40))
+    (fun (p, failures) ->
+      let t = Retry.retry_time p ~failures in
+      let t' = Retry.retry_time p ~failures:(failures + 1) in
+      Retry.retry_time p ~failures:0 = 0
+      && t <= t'
+      && t <= Retry.give_up_time p)
+
+let give_up_qcheck =
+  QCheck.Test.make
+    ~name:"give_up_time = retry_time at max_retries+1 attempts" ~count:200
+    policy_gen
+    (fun p ->
+      Retry.give_up_time p
+      = Retry.retry_time p ~failures:(p.Retry.max_retries + 1)
+      && Retry.give_up_time p >= (p.Retry.max_retries + 1) * p.Retry.timeout)
+
 (* ------------------------------------------------------------------ *)
 (* Plan *)
 
@@ -416,11 +464,10 @@ let () =
   Alcotest.run "mk_fault"
     [
       ( "retry",
-        [
-          Alcotest.test_case "backoff delay" `Quick test_backoff_delay;
-          Alcotest.test_case "retry time" `Quick test_retry_time;
-          Alcotest.test_case "give-up time" `Quick test_give_up_time;
-        ] );
+        Alcotest.test_case "backoff delay" `Quick test_backoff_delay
+        :: Alcotest.test_case "retry time" `Quick test_retry_time
+        :: Alcotest.test_case "give-up time" `Quick test_give_up_time
+        :: qsuite [ backoff_qcheck; retry_time_qcheck; give_up_qcheck ] );
       ( "plan",
         Alcotest.test_case "make sorts" `Quick test_plan_make_sorts
         :: Alcotest.test_case "rejects negatives" `Quick
