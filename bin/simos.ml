@@ -156,7 +156,9 @@ let resume_arg =
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH" ~doc)
 
 (* The journaled path runs cells under supervision; the summary goes
-   to stderr so stdout stays byte-identical fresh-vs-resumed. *)
+   to stderr so stdout stays byte-identical fresh-vs-resumed.  The
+   quarantine count rides along so the command can exit non-zero on a
+   partial report. *)
 let with_journal (path, replay) cells regroup =
   let j = Engine.Journal.open_ ~replay ~path () in
   let s =
@@ -165,7 +167,19 @@ let with_journal (path, replay) cells regroup =
       (fun () -> Cluster.Experiment.supervised_points ~journal:j cells)
   in
   prerr_endline (Cluster.Report.supervision_summary s);
-  regroup s
+  (regroup s, s.Cluster.Experiment.quarantined)
+
+(* A quarantined cell means the stdout report is partial: scripts/CI
+   consuming it must be able to tell, so the exit status says so even
+   though the run itself completed gracefully. *)
+let ok_unless_quarantined quarantined =
+  if quarantined = 0 then `Ok ()
+  else
+    `Error
+      ( false,
+        Printf.sprintf
+          "%d cell(s) quarantined; the report is partial (details on stderr)"
+          quarantined )
 
 let sweep_cmd =
   let action app runs seed format jobs journal resume =
@@ -176,11 +190,12 @@ let sweep_cmd =
       Cluster.Validate.journal_mode ~journal ~resume ~obs_active:false
     in
     set_jobs jobs;
-    let series =
+    let series, quarantined =
       match jmode with
       | None ->
-          Cluster.Experiment.compare_scenarios ~scenarios:Cluster.Scenario.trio
-            ~app ~runs ~seed ()
+          ( Cluster.Experiment.compare_scenarios
+              ~scenarios:Cluster.Scenario.trio ~app ~runs ~seed (),
+            0 )
       | Some mode ->
           with_journal mode
             (Cluster.Experiment.compare_cells ~scenarios:Cluster.Scenario.trio
@@ -204,7 +219,7 @@ let sweep_cmd =
         in
         print_string (Cluster.Report.relative_table ~app ~baseline series);
         print_string (Cluster.Report.relative_chart ~app ~baseline series));
-    `Ok ()
+    ok_unless_quarantined quarantined
   in
   let doc = "Sweep one application over its node counts under all three kernels." in
   Cmd.v (Cmd.info "sweep" ~doc)
@@ -226,9 +241,9 @@ let suite_cmd =
     in
     set_jobs jobs;
     let obs = make_obs ~trace_path ~metrics in
-    let suite =
+    let suite, quarantined =
       match jmode with
-      | None -> Cluster.Experiment.suite ?obs ~runs ~seed ()
+      | None -> (Cluster.Experiment.suite ?obs ~runs ~seed (), 0)
       | Some mode ->
           let per_app = Cluster.Experiment.suite_cells ~runs ~seed () in
           with_journal mode
@@ -252,7 +267,7 @@ let suite_cmd =
           (Engine.Json.to_string_pretty
              (Cluster.Report.suite_json ~runs ~seed ?obs suite)));
     flush_obs ~trace_path ~print_tables:(metrics && format = `Table) obs;
-    `Ok ()
+    ok_unless_quarantined quarantined
   in
   let doc =
     "Run the paper's full evaluation — every application under all three \

@@ -81,7 +81,10 @@ let no_lost_cells ~rng ~counts ~runs ~seed =
 (* 2. Kill-and-resume: journal the first [k] cells (the "killed" run),
    corrupt the journal tail the way a killed writer would, resume over
    the full cell list, and require the rendered report byte-identical
-   to an uninterrupted run. *)
+   to an uninterrupted run.  Then resume a SECOND time: the first
+   resume appended fresh records after the torn tail, and if open_
+   failed to repair the tail first, the fused line would make this
+   second resume silently drop them and recompute. *)
 let kill_and_resume ~counts ~runs ~seed =
   let a = app () in
   let cells =
@@ -110,19 +113,31 @@ let kill_and_resume ~counts ~runs ~seed =
   let torn = Mk_engine.Journal.torn j2 in
   Mk_engine.Journal.close j2;
   let got = doc resumed.Experiment.outcomes in
+  let j3 = Mk_engine.Journal.open_ ~path () in
+  let again = Experiment.supervised_points ~journal:j3 cells in
+  let torn3 = Mk_engine.Journal.torn j3 in
+  Mk_engine.Journal.close j3;
+  let got_again = doc again.Experiment.outcomes in
   let ok =
     killed.Experiment.computed = k
     && resumed.Experiment.replayed = k
     && resumed.Experiment.computed = n - k
     && torn = 1
     && String.equal got expected
+    && again.Experiment.replayed = n
+    && again.Experiment.computed = 0
+    && torn3 = 0
+    && String.equal got_again expected
   in
   ( ok,
     Printf.sprintf
       "killed after %d/%d cells; resume replayed %d, recomputed %d, %d torn \
-       line(s) ignored, output %s"
+       line(s) ignored, output %s; second resume replayed %d, recomputed %d \
+       (torn tail repaired: %b), output %s"
       k n resumed.Experiment.replayed resumed.Experiment.computed torn
-      (if String.equal got expected then "byte-identical" else "DIFFERS") )
+      (if String.equal got expected then "byte-identical" else "DIFFERS")
+      again.Experiment.replayed again.Experiment.computed (torn3 = 0)
+      (if String.equal got_again expected then "byte-identical" else "DIFFERS") )
 
 (* 3. Mid-write crash: a write killed between staging and rename must
    leave the previous complete file in place, and a rerun must land

@@ -53,14 +53,17 @@ let write path contents =
      | _ -> ());
      output_string oc contents;
      flush oc;
-     fsync_channel oc
+     fsync_channel oc;
+     (* Inside the handler's reach: close_out can itself raise (its
+        implicit flush, e.g. on ENOSPC) and must also leave no staging
+        file behind. *)
+     close_out oc
    with
   | Crashed -> raise Crashed
   | e ->
       close_out_noerr oc;
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e);
-  close_out oc;
   Sys.rename tmp path;
   fsync_dir path
 

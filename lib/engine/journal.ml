@@ -24,10 +24,16 @@ let load t path =
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
+          let size = in_channel_length ic in
+          (* Byte offset just past the last well-formed line: where a
+             torn tail (if any) begins. *)
+          let good_end = ref 0 in
           let rec loop () =
             match input_line ic with
             | exception End_of_file -> ()
-            | line when String.trim line = "" -> loop ()
+            | line when String.trim line = "" ->
+                good_end := pos_in ic;
+                loop ()
             | line -> (
                 match parse_line line with
                 | Some (key, value) ->
@@ -35,13 +41,28 @@ let load t path =
                        cell that was journaled before an older crash. *)
                     Hashtbl.replace t.seen key value;
                     t.loaded <- t.loaded + 1;
+                    good_end := pos_in ic;
                     loop ()
                 | None ->
                     (* A torn trailing line from a killed writer; count
                        it and stop — nothing after it is trustworthy. *)
                     t.torn <- t.torn + 1)
           in
-          loop ())
+          loop ();
+          (* Repair before the first append, or the new record fuses
+             with the torn bytes into one unparsable line and a later
+             resume silently stops loading there. *)
+          if t.torn > 0 then (
+            try Unix.truncate path !good_end with Unix.Unix_error _ -> ())
+          else if size > 0 then (
+            (* A last line that parsed but lacks its trailing newline
+               would fuse too: separate it. *)
+            seek_in ic (size - 1);
+            match input_char ic with
+            | '\n' -> ()
+            | _ | (exception End_of_file) ->
+                output_char t.oc '\n';
+                flush t.oc))
 
 let open_ ?(replay = true) ~path () =
   let t =
@@ -58,7 +79,13 @@ let open_ ?(replay = true) ~path () =
   load t path;
   t
 
-let find t ~key = if t.replay then Hashtbl.find_opt t.seen key else None
+(* [seen] is read by every worker domain while completed tasks
+   [record] into it concurrently, and stdlib Hashtbl is unsynchronized
+   across domains — so lookups take the same mutex as writers. *)
+let find t ~key =
+  if t.replay then
+    Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.seen key)
+  else None
 
 let record t ~key ~label value =
   let entry =

@@ -22,14 +22,18 @@ type t
 val open_ : ?replay:bool -> path:string -> unit -> t
 (** Open (creating if absent) the journal at [path] for appending,
     first loading any existing entries.  Later duplicate keys win.  A
-    malformed line stops the load and is counted in {!torn}.  When
-    [replay] is [false] (record-only mode, [--journal] without
-    [--resume]) the loaded entries are kept for accounting but
-    {!find} always misses. *)
+    malformed line stops the load and is counted in {!torn}; the torn
+    tail is then truncated away (and a missing final newline repaired)
+    before any new record is appended, so a crash–resume–crash cycle
+    never fuses a fresh record onto torn bytes.  When [replay] is
+    [false] (record-only mode, [--journal] without [--resume]) the
+    loaded entries are kept for accounting but {!find} always
+    misses. *)
 
 val find : t -> key:string -> Json.t option
 (** Replay lookup.  [None] when the key is absent or the journal was
-    opened with [~replay:false]. *)
+    opened with [~replay:false].  Thread-safe (worker tasks look up
+    concurrently with {!record} from their siblings). *)
 
 val record : t -> key:string -> label:string -> Json.t -> unit
 (** Append one completed cell.  Thread-safe (worker tasks record as

@@ -607,6 +607,46 @@ let test_journal_torn_tail () =
         (Journal.find j2 ~key:"b" = Some (Json.Int 2));
       Journal.close j2)
 
+let test_journal_torn_tail_repaired_on_append () =
+  in_temp "jrepair" (fun path ->
+      Sys.remove path;
+      let j = Journal.open_ ~path () in
+      Journal.record j ~key:"a" ~label:"a" (Json.Int 1);
+      Journal.close j;
+      let torn_tail () =
+        let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+        output_string oc "{\"key\":\"b\",\"la";
+        close_out oc
+      in
+      (* Crash → resume (which records a new cell) → crash → resume:
+         the record appended by the first resume must not fuse with
+         the torn line, or the second resume silently loses it. *)
+      torn_tail ();
+      let j2 = Journal.open_ ~path () in
+      check_int "torn tail detected" 1 (Journal.torn j2);
+      Journal.record j2 ~key:"c" ~label:"c" (Json.Int 3);
+      Journal.close j2;
+      torn_tail ();
+      let j3 = Journal.open_ ~path () in
+      check_int "both records survive two resumes" 2 (Journal.loaded j3);
+      check_bool "resumed record replays" true
+        (Journal.find j3 ~key:"c" = Some (Json.Int 3));
+      Journal.close j3;
+      (* A missing final newline with a parseable last line is
+         repaired with a separator, not truncated. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "{\"key\":\"d\",\"label\":\"d\",\"value\":4}";
+      close_out oc;
+      let j4 = Journal.open_ ~path () in
+      check_int "newline-less last line still loads" 3 (Journal.loaded j4);
+      Journal.record j4 ~key:"e" ~label:"e" (Json.Int 5);
+      Journal.close j4;
+      let j5 = Journal.open_ ~path () in
+      check_int "no fusion after separator" 4 (Journal.loaded j5);
+      check_bool "newline-less entry kept" true
+        (Journal.find j5 ~key:"d" = Some (Json.Int 4));
+      Journal.close j5)
+
 let test_journal_record_only () =
   in_temp "jrec" (fun path ->
       Sys.remove path;
@@ -1099,6 +1139,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "torn tail repaired on append" `Quick
+            test_journal_torn_tail_repaired_on_append;
           Alcotest.test_case "record-only" `Quick test_journal_record_only;
         ] );
       ( "distributions",
