@@ -1,5 +1,5 @@
 # Convenience aliases around dune; ci.sh remains the authoritative gate.
-.PHONY: build test lint lint-json doc ci trace-smoke chaos-smoke
+.PHONY: build test lint lint-json doc ci trace-smoke chaos-smoke scale-smoke scale
 
 build:
 	dune build
@@ -32,6 +32,17 @@ trace-smoke:
 # mid-write crash) — see docs/ROBUSTNESS.md.
 chaos-smoke:
 	dune exec simos -- chaos --smoke
+
+# The sharded-DES gate from ci.sh, standalone: serial-vs-sharded
+# byte-identity plus the fast-forward speedup bar (>= 4 cores) — see
+# docs/SHARDING.md.
+scale-smoke:
+	dune exec bench/main.exe -- scale --smoke
+
+# The full weak-scaling sweep to 131,072 nodes; writes
+# bench/results/latest-scale.json and BENCH_scale.json.
+scale:
+	dune exec bench/main.exe -- scale
 
 ci:
 	./ci.sh

@@ -1261,23 +1261,256 @@ let perf ?tag ~smoke () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* SCALE: the weak-scaling record past the paper's 2,048 nodes        *)
+
+(* The ROADMAP's north star made measurable: at each node count the
+   suite subset (weak-scaling apps, one run) is timed end to end, the
+   event-driven tier is run once through the serial heap and once
+   sharded (Cluster_des.sharded_allreduce_loop), and the two results
+   are compared byte for byte.  The DES measurement uses the noisy
+   mOS profile so fast-forward never engages and the event count is
+   the honest serial event count — the sharded/serial wall-clock
+   ratio is then a pure parallel-protocol number.  Everything lands
+   in bench/results/latest-scale.json plus the repo-root
+   BENCH_scale.json so the trajectory is tracked across PRs.
+
+   The smoke variant is the CI gate: small node counts, byte-identity
+   at several shard counts, and — on machines with at least four
+   cores — a fast-forward speedup gate on the silent profile (many
+   iterations, so the closed-form skip dominates; same one-retry
+   policy as the perf gates). *)
+
+let scale_window = 2 * Engine.Units.ms
+
+let scale_des ?pool ?fast_forward ~shards ~nodes ~iterations ~profile () =
+  let fabric = Fabric.Fabric.make ~nodes () in
+  Cluster.Cluster_des.sharded_allreduce_loop ?pool ?fast_forward ~shards ~nodes
+    ~ranks_per_node:64 ~threads_per_rank:1 ~window:scale_window ~iterations
+    ~bytes:8 ~profile ~fabric ~seed:42 ()
+
+let scale_serial ~nodes ~iterations ~profile =
+  let fabric = Fabric.Fabric.make ~nodes () in
+  Cluster.Cluster_des.allreduce_loop ~nodes ~ranks_per_node:64
+    ~threads_per_rank:1 ~window:scale_window ~iterations ~bytes:8 ~profile
+    ~fabric ~seed:42
+
+let scale ?tag ~smoke () =
+  section
+    (if smoke then "SCALE (smoke) — sharded-DES gate"
+     else "SCALE — weak scaling to 131,072 nodes");
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let shards = max 2 (min 8 cores) in
+  let pool = Engine.Pool.create ~num_domains:shards () in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let node_counts =
+    if smoke then [ 256; 1024 ] else [ 2048; 8192; 32768; 131072 ]
+  in
+  let iterations = 10 in
+  let identical = ref true in
+  let points =
+    List.map
+      (fun nodes ->
+        (* Suite subset at this scale: the paper-reproduction figures
+           the 2,048-node point must keep matching. *)
+        let apps = [ app_exn "hpcg"; app_exn "minife" ] in
+        let suite, suite_s =
+          timed (fun () ->
+              Cluster.Experiment.suite ~pool ~apps ~node_counts:[ nodes ]
+                ~runs:1 ~seed:42 ())
+        in
+        let headline =
+          Engine.Json.Obj
+            (List.map
+               (fun (label, median, best) ->
+                 ( label,
+                   Engine.Json.Obj
+                     [
+                       ("median_improvement", Engine.Json.Float median);
+                       ("best_improvement", Engine.Json.Float best);
+                     ] ))
+               (Cluster.Report.suite_headline suite))
+        in
+        (* DES serial vs sharded, noisy profile: no fast-forward, so
+           the shard event total is the serial event count too. *)
+        let profile = Noise.Profile.mos_lwk in
+        let serial, serial_s =
+          timed (fun () -> scale_serial ~nodes ~iterations ~profile)
+        in
+        let (sharded, stats), sharded_s =
+          timed (fun () ->
+              scale_des ~pool ~shards ~nodes ~iterations ~profile ())
+        in
+        let ok = serial = sharded in
+        if not ok then identical := false;
+        let events = stats.Cluster.Cluster_des.shard_events in
+        Printf.printf
+          "%7d nodes: suite %6.2fs; DES %d events, serial %6.2fs (%.2fM ev/s), \
+           %d shards %6.2fs (%.2fM ev/s), %s\n%!"
+          nodes suite_s events serial_s
+          (float_of_int events /. serial_s /. 1e6)
+          shards sharded_s
+          (float_of_int events /. sharded_s /. 1e6)
+          (if ok then "identical" else "DIVERGED");
+        Engine.Json.Obj
+          [
+            ("nodes", Engine.Json.Int nodes);
+            ("suite_seconds", Engine.Json.Float suite_s);
+            ("headline", headline);
+            ( "des",
+              Engine.Json.Obj
+                [
+                  ("profile", Engine.Json.String profile.Noise.Profile.name);
+                  ("iterations", Engine.Json.Int iterations);
+                  ("events", Engine.Json.Int events);
+                  ("serial_seconds", Engine.Json.Float serial_s);
+                  ("sharded_seconds", Engine.Json.Float sharded_s);
+                  ( "speedup",
+                    Engine.Json.Float
+                      (if sharded_s > 0.0 then serial_s /. sharded_s else 0.0)
+                  );
+                  ( "cross_messages",
+                    Engine.Json.Int stats.Cluster.Cluster_des.cross_messages );
+                  ( "null_messages",
+                    Engine.Json.Int stats.Cluster.Cluster_des.null_messages );
+                  ("epochs", Engine.Json.Int stats.Cluster.Cluster_des.epochs);
+                  ("identical", Engine.Json.Bool ok);
+                ] );
+          ])
+      node_counts
+  in
+  (* Byte-identity across shard counts on the smallest configuration:
+     the qcheck invariant, re-asserted against the installed binary. *)
+  let id_nodes = List.hd node_counts in
+  List.iter
+    (fun sh ->
+      let serial =
+        scale_serial ~nodes:id_nodes ~iterations ~profile:Noise.Profile.mos_lwk
+      in
+      let sharded, _ =
+        scale_des ~pool ~shards:sh ~nodes:id_nodes ~iterations
+          ~profile:Noise.Profile.mos_lwk ()
+      in
+      if serial <> sharded then begin
+        Printf.eprintf
+          "scale: %d-shard DES diverged from the serial heap at %d nodes\n"
+          sh id_nodes;
+        identical := false
+      end)
+    [ 1; 2; 4; 8 ];
+  (* Fast-forward speedup gate (smoke, >= 4 cores): on a silent
+     profile with many iterations the closed-form skip must dominate
+     the serial replay.  One retry, like the perf gates. *)
+  let ff_gate () =
+    let ff_nodes = 2048 and ff_iters = 200 in
+    let _, serial_s =
+      timed (fun () ->
+          scale_serial ~nodes:ff_nodes ~iterations:ff_iters
+            ~profile:Noise.Profile.silent)
+    in
+    let (_, stats), ff_s =
+      timed (fun () ->
+          scale_des ~pool ~shards ~nodes:ff_nodes ~iterations:ff_iters
+            ~profile:Noise.Profile.silent ())
+    in
+    (serial_s, ff_s, stats.Cluster.Cluster_des.fast_forwarded)
+  in
+  let ff_json =
+    if not (smoke && cores >= 4) then []
+    else begin
+      let serial_s, ff_s, skipped =
+        let (s1, f1, sk) = ff_gate () in
+        if s1 /. f1 >= 1.25 then (s1, f1, sk) else ff_gate ()
+      in
+      Printf.printf
+        "fast-forward: serial %.2fs vs sharded+ff %.2fs (%.1fx, %d iterations \
+         skipped)\n%!"
+        serial_s ff_s (serial_s /. ff_s) skipped;
+      if serial_s /. ff_s < 1.25 then begin
+        Printf.eprintf
+          "scale --smoke: fast-forward speedup %.2fx below the 1.25x bar \
+           (serial %.2fs, sharded+ff %.2fs) — see docs/SHARDING.md\n"
+          (serial_s /. ff_s) serial_s ff_s;
+        exit 1
+      end;
+      [
+        ( "fast_forward",
+          Engine.Json.Obj
+            [
+              ("serial_seconds", Engine.Json.Float serial_s);
+              ("sharded_seconds", Engine.Json.Float ff_s);
+              ("speedup", Engine.Json.Float (serial_s /. ff_s));
+              ("iterations_skipped", Engine.Json.Int skipped);
+            ] );
+      ]
+    end
+  in
+  let doc =
+    Engine.Json.to_string_pretty
+      (Engine.Json.Obj
+         ((("schema", Engine.Json.String "multikernel-scale/1")
+           ::
+           (match tag with
+           | Some t -> [ ("tag", Engine.Json.String t) ]
+           | None -> []))
+         @ [
+             ("smoke", Engine.Json.Bool smoke);
+             ("shards", Engine.Json.Int shards);
+             ("points", Engine.Json.List points);
+             ("identical", Engine.Json.Bool !identical);
+           ]
+         @ ff_json))
+    ^ "\n"
+  in
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755;
+  let paths =
+    if smoke then [ Filename.concat results_dir "scale-smoke.json" ]
+    else [ Filename.concat results_dir "latest-scale.json"; "BENCH_scale.json" ]
+  in
+  List.iter
+    (fun path ->
+      write_file path doc;
+      Printf.printf "wrote %s\n" path)
+    paths;
+  if not !identical then begin
+    Printf.eprintf
+      "scale: sharded DES diverged from the serial heap — the conservative \
+       protocol is broken; see docs/SHARDING.md\n";
+    exit 1
+  end
+
 (* The CI parse gate: a results file on disk must always be complete,
    valid JSON — the atomic writer makes a torn file impossible, this
-   catches manual edits and schema-level corruption. *)
+   catches manual edits and schema-level corruption.  Every snapshot
+   under bench/results/ is checked, dated ones included; the directory
+   listing is sorted so the report order never depends on readdir. *)
 let check_results () =
   let check path =
-    if Sys.file_exists path then
-      match Engine.Atomic_file.read_json path with
-      | _ -> Printf.printf "%s parses\n" path
-      | exception Engine.Atomic_file.Corrupt { path; reason } ->
-          (* [reason] carries the parser's byte offset. *)
-          Printf.eprintf "%s is corrupt: %s\n" path reason;
-          exit 1
-    else Printf.printf "%s absent (run the results/faults target first)\n" path
+    match Engine.Atomic_file.read_json path with
+    | _ -> Printf.printf "%s parses\n" path
+    | exception Engine.Atomic_file.Corrupt { path; reason } ->
+        (* [reason] carries the parser's byte offset. *)
+        Printf.eprintf "%s is corrupt: %s\n" path reason;
+        exit 1
   in
-  check (Filename.concat results_dir "latest.json");
-  check (Filename.concat results_dir "faults.json");
-  check (Filename.concat results_dir "latest-perf.json")
+  if not (Sys.file_exists results_dir) then
+    Printf.printf "%s absent (run the results/faults target first)\n"
+      results_dir
+  else
+    let files =
+      Sys.readdir results_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+    in
+    if files = [] then
+      Printf.printf "%s has no JSON snapshots (run the results target first)\n"
+        results_dir
+    else List.iter (fun f -> check (Filename.concat results_dir f)) files
 
 (* check-json PATH: the same parse gate pointed at one explicit file —
    ci.sh runs it over the trace-smoke exports, and it works on any
@@ -1325,6 +1558,14 @@ let () =
       | _ ->
           Printf.eprintf "usage: main.exe perf [--smoke | tag]\n";
           exit 1)
+  | _ :: "scale" :: rest -> (
+      match rest with
+      | [] -> scale ~smoke:false ()
+      | [ "--smoke" ] -> scale ~smoke:true ()
+      | [ tag ] -> scale ~tag ~smoke:false ()
+      | _ ->
+          Printf.eprintf "usage: main.exe scale [--smoke | tag]\n";
+          exit 1)
   | [ _; "check-results" ] -> check_results ()
   | [ _; "check-json"; path ] -> check_json path
   | [ _; name ] -> (
@@ -1332,7 +1573,8 @@ let () =
       | Some f -> f ()
       | None ->
           Printf.eprintf
-            "unknown target %s; available: %s results check-json\n" name
+            "unknown target %s; available: %s results perf scale check-json\n"
+            name
             (String.concat " " (List.map fst targets));
           exit 1)
   | _ ->

@@ -63,6 +63,14 @@ cmp "$journal_tmp/fresh.txt" "$journal_tmp/resumed.txt" || {
 # disabled observability hooks (sink=Null) cost no more than 2%.
 dune exec bench/main.exe -- perf --smoke
 
+# Sharded-DES gate (docs/SHARDING.md): the event-driven tier run
+# serially and sharded over several shard counts must agree byte for
+# byte (the conservative-protocol invariant), and on >= 4 cores the
+# closed-form fast-forward must clear a 1.25x speedup over serial
+# replay on a silent profile; on fewer cores the ratios are recorded
+# in scale-smoke.json but cannot gate.
+dune exec bench/main.exe -- scale --smoke
+
 # Observability gate (docs/OBSERVABILITY.md): the same traced
 # 4-node comparison run sequentially and under -j 2 must export
 # byte-identical Perfetto traces, and the trace must parse as JSON.

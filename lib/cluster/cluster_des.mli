@@ -32,6 +32,48 @@ val allreduce_loop :
 (** Simulate [iterations] of (compute window + straggler delay +
     allreduce) over [nodes] nodes, event by event. *)
 
+type sharding = {
+  shard_events : int;  (** DES events fired, summed over shards *)
+  cross_messages : int;  (** node messages that crossed a shard boundary *)
+  null_messages : int;  (** CMB null promises exchanged *)
+  horizon_stalls : int;  (** shard-epochs spent waiting on the horizon *)
+  epochs : int;  (** conservative synchronisation rounds *)
+  fast_forwarded : int;  (** iterations advanced in closed form *)
+}
+(** Execution profile of a sharded run.  Deterministic for a given
+    (parameters, shard count): independent of the pool, so safe in
+    snapshots. *)
+
+val sharded_allreduce_loop :
+  ?pool:Mk_engine.Pool.t ->
+  ?fast_forward:bool ->
+  shards:int ->
+  nodes:int ->
+  ranks_per_node:int ->
+  threads_per_rank:int ->
+  window:Mk_engine.Units.time ->
+  iterations:int ->
+  bytes:int ->
+  profile:Mk_noise.Profile.t ->
+  fabric:Mk_fabric.Fabric.t ->
+  seed:int ->
+  unit ->
+  result * sharding
+(** {!allreduce_loop} executed as a conservatively synchronised
+    parallel simulation ({!Mk_engine.Shard}): nodes are partitioned by
+    fabric region over [shards] event heaps, with the minimum
+    cross-region wire time as lookahead.  The [result] is {e exactly}
+    {!allreduce_loop}'s for every shard count and pool — the test
+    suite qcheck's this.  [fast_forward] (default on) additionally
+    advances provably periodic iterations in closed form on silent
+    profiles: once two consecutive iterations shift every node's exit
+    by the same delta, the remaining ones are that shift repeated
+    (the iteration map is max-plus rank-one), which is what makes
+    131,072-node runs take seconds instead of minutes.  Emits
+    per-shard ["des"] observability counters (events, null messages,
+    horizon stalls) when a recorder is active.
+    @raise Invalid_argument on non-positive sizes or shard count. *)
+
 val analytic_allreduce_loop :
   nodes:int ->
   ranks_per_node:int ->

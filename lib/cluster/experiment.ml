@@ -68,13 +68,27 @@ let split_groups sizes xs =
    positionally), so summarising per cell and absorbing snapshots in
    job order reproduce exactly what sequential execution would have
    done — which executor ran which repetition is invisible. *)
-let points ?pool ?obs cells =
+let points ?pool ?obs ?progress cells =
   List.iter
     (fun c ->
       if c.runs <= 0 then invalid_arg "Experiment.point: runs must be positive")
     cells;
   let jobs =
     List.concat_map (fun c -> List.init c.runs (fun i -> (c, i))) cells
+  in
+  (* Progress is a side channel for interactive feedback (the simos
+     heartbeat): the callback fires on whichever domain finished the
+     repetition, so it must be thread-safe and must never influence
+     results.  The counter is the only shared state. *)
+  let total = List.length jobs in
+  let completed = Atomic.make 0 in
+  let notify task j =
+    match progress with
+    | None -> task j
+    | Some f ->
+        let r = task j in
+        f ~completed:(Atomic.fetch_and_add completed 1 + 1) ~total;
+        r
   in
   let regroup results =
     List.map2
@@ -88,15 +102,15 @@ let points ?pool ?obs cells =
          sink installed — the pre-observability fast path. *)
       regroup
         (Mk_engine.Pool.parallel_map ?pool
-           (fun (c, i) ->
-             Driver.run ?faults:c.faults ~scenario:c.scenario ~app:c.app
-               ~nodes:c.nodes ~seed:(seed_of c i) ())
+           (notify (fun (c, i) ->
+                Driver.run ?faults:c.faults ~scenario:c.scenario ~app:c.app
+                  ~nodes:c.nodes ~seed:(seed_of c i) ()))
            jobs)
   | Some coll ->
       let trace = Mk_obs.Collect.trace_enabled coll in
       let outs =
         Mk_engine.Pool.parallel_map ?pool
-          (fun (c, i) ->
+          (notify (fun (c, i) ->
             let seed = seed_of c i in
             let r =
               Mk_obs.Recorder.make ~trace ~label:c.scenario.Scenario.label
@@ -106,7 +120,7 @@ let points ?pool ?obs cells =
               Driver.run ?faults:c.faults ~obs:r ~scenario:c.scenario
                 ~app:c.app ~nodes:c.nodes ~seed ()
             in
-            (result, Mk_obs.Recorder.snapshot r))
+            (result, Mk_obs.Recorder.snapshot r)))
           jobs
       in
       (* Each run recorded into its own recorder; merging here — in
@@ -147,11 +161,15 @@ let suite_cells ?(apps = Mk_apps.Registry.all) ?node_counts
           () ))
     apps
 
-let sweep ?pool ?obs ~scenario ~app ?node_counts ?runs ?seed () =
+let sweep ?pool ?obs ?progress ~scenario ~app ?node_counts ?runs ?seed () =
   let cells = sweep_cells ~scenario ~app ?node_counts ?runs ?seed () in
-  { scenario_label = scenario.Scenario.label; points = points ?pool ?obs cells }
+  {
+    scenario_label = scenario.Scenario.label;
+    points = points ?pool ?obs ?progress cells;
+  }
 
-let compare_scenarios ?pool ?obs ~scenarios ~app ?node_counts ?runs ?seed () =
+let compare_scenarios ?pool ?obs ?progress ~scenarios ~app ?node_counts ?runs
+    ?seed () =
   let counts = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
   let cells = compare_cells ~scenarios ~app ?node_counts ?runs ?seed () in
   let k = List.length counts in
@@ -161,7 +179,7 @@ let compare_scenarios ?pool ?obs ~scenarios ~app ?node_counts ?runs ?seed () =
     scenarios
     (split_groups
        (List.map (fun _ -> k) scenarios)
-       (points ?pool ?obs cells))
+       (points ?pool ?obs ?progress cells))
 
 let relative_to ~baseline series =
   List.filter_map
@@ -181,7 +199,7 @@ let best_improvement ratio_lists =
     neg_infinity
     (List.concat ratio_lists)
 
-let suite ?pool ?obs ?apps ?node_counts ?runs ?seed () =
+let suite ?pool ?obs ?progress ?apps ?node_counts ?runs ?seed () =
   (* The whole evaluation — every (app × scenario × node count)
      repetition — as one flat batch.  This is where per-run tasks pay
      off most: apps differ in cost by orders of magnitude, and with
@@ -191,7 +209,7 @@ let suite ?pool ?obs ?apps ?node_counts ?runs ?seed () =
      barrier. *)
   let counts_of app = Option.value node_counts ~default:app.Mk_apps.App.node_counts in
   let per_app = suite_cells ?apps ?node_counts ?runs ?seed () in
-  let ps = points ?pool ?obs (List.concat_map snd per_app) in
+  let ps = points ?pool ?obs ?progress (List.concat_map snd per_app) in
   List.map2
     (fun (app, _) pts ->
       let k = List.length (counts_of app) in
@@ -475,3 +493,49 @@ let suite_of_supervised per_app s =
     (fun (app, _) block -> (app, series_of_supervised block))
     per_app
     (split_groups sizes s.outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-DES validation tier (simos suite --des-shards) *)
+
+type des_check = {
+  des_scenario : string;
+  des_nodes : int;
+  des_shards : int;
+  serial : Cluster_des.result;
+  sharded : Cluster_des.result;
+  des_stats : Cluster_des.sharding;
+}
+
+let des_identical c = c.serial = c.sharded
+
+(* The workload of the DES cross-validation tests: one Oakforest-like
+   node (64 ranks), a 2 ms compute window, 10 allreduce iterations. *)
+let des_checks ?pool ?(scenarios = Scenario.trio) ~nodes ~shards ?(seed = 42)
+    () =
+  if shards <= 0 then
+    invalid_arg "Experiment.des_checks: shards must be positive";
+  let window = 2 * Mk_engine.Units.ms in
+  List.map
+    (fun (sc : Scenario.t) ->
+      let os = sc.Scenario.make () in
+      let profile = os.Mk_kernel.Os.app_noise in
+      let fabric = Mk_fabric.Fabric.make ~nodes () in
+      let serial =
+        Cluster_des.allreduce_loop ~nodes ~ranks_per_node:64
+          ~threads_per_rank:1 ~window ~iterations:10 ~bytes:8 ~profile ~fabric
+          ~seed
+      in
+      let sharded, des_stats =
+        Cluster_des.sharded_allreduce_loop ?pool ~shards ~nodes
+          ~ranks_per_node:64 ~threads_per_rank:1 ~window ~iterations:10
+          ~bytes:8 ~profile ~fabric ~seed ()
+      in
+      {
+        des_scenario = sc.Scenario.label;
+        des_nodes = nodes;
+        des_shards = shards;
+        serial;
+        sharded;
+        des_stats;
+      })
+    scenarios

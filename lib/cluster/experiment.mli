@@ -65,6 +65,7 @@ type cell = {
 val points :
   ?pool:Mk_engine.Pool.t ->
   ?obs:Mk_obs.Collect.t ->
+  ?progress:(completed:int -> total:int -> unit) ->
   cell list ->
   point list
 (** The experiment layer's one fan-out primitive: every repetition of
@@ -75,12 +76,16 @@ val points :
     {!compare_scenarios}, {!suite} and {!Degradation} all reduce to a
     single call of this; use it directly for custom cell batches
     (mixed apps, per-cell fault plans) that should share one flat
-    schedule.  Raises [Invalid_argument] if any cell has
+    schedule.  [progress] fires after each completed repetition, on
+    whichever domain ran it — it must be thread-safe, and it must not
+    influence results (interactive heartbeats only; see
+    [simos suite]).  Raises [Invalid_argument] if any cell has
     [runs <= 0]. *)
 
 val sweep :
   ?pool:Mk_engine.Pool.t ->
   ?obs:Mk_obs.Collect.t ->
+  ?progress:(completed:int -> total:int -> unit) ->
   scenario:Scenario.t ->
   app:Mk_apps.App.t ->
   ?node_counts:int list ->
@@ -94,6 +99,7 @@ val sweep :
 val compare_scenarios :
   ?pool:Mk_engine.Pool.t ->
   ?obs:Mk_obs.Collect.t ->
+  ?progress:(completed:int -> total:int -> unit) ->
   scenarios:Scenario.t list ->
   app:Mk_apps.App.t ->
   ?node_counts:int list ->
@@ -119,6 +125,7 @@ val best_improvement : (int * float) list list -> float
 val suite :
   ?pool:Mk_engine.Pool.t ->
   ?obs:Mk_obs.Collect.t ->
+  ?progress:(completed:int -> total:int -> unit) ->
   ?apps:Mk_apps.App.t list ->
   ?node_counts:int list ->
   ?runs:int ->
@@ -247,3 +254,36 @@ val suite_of_supervised :
   (Mk_apps.App.t * series list) list
 (** Regroup a supervised run over [suite_cells] blocks back into the
     {!suite} result shape. *)
+
+(** {1 Sharded-DES validation}
+
+    The [--des-shards] tier of [simos suite]: for each scenario, run
+    the event-driven allreduce loop once on the single serial heap
+    and once sharded ({!Cluster_des.sharded_allreduce_loop}), so the
+    byte-identity invariant is checked against the exact OS noise
+    profiles the suite just measured. *)
+
+type des_check = {
+  des_scenario : string;
+  des_nodes : int;
+  des_shards : int;
+  serial : Cluster_des.result;
+  sharded : Cluster_des.result;
+  des_stats : Cluster_des.sharding;
+}
+
+val des_identical : des_check -> bool
+(** Completion time {e and} message count agree exactly. *)
+
+val des_checks :
+  ?pool:Mk_engine.Pool.t ->
+  ?scenarios:Scenario.t list ->
+  nodes:int ->
+  shards:int ->
+  ?seed:int ->
+  unit ->
+  des_check list
+(** One {!des_check} per scenario (default {!Scenario.trio}), at the
+    DES cross-validation workload (64 ranks per node, 2 ms windows,
+    10 iterations, 8-byte reductions).
+    @raise Invalid_argument when [shards <= 0]. *)

@@ -347,3 +347,40 @@ let supervision_summary (s : Experiment.supervised) =
             (Experiment.cell_label c) attempts error)
     s.Experiment.outcomes;
   Buffer.contents b
+
+(* One row per scenario: both DES formulations side by side, plus the
+   conservative-protocol counters that explain where the parallel run
+   spent its epochs.  "ok" is the byte-identity verdict the CLI turns
+   into an exit status. *)
+let des_table (checks : Experiment.des_check list) =
+  let header =
+    [
+      "scenario"; "nodes"; "shards"; "serial"; "sharded"; "messages"; "events";
+      "cross"; "nulls"; "epochs"; "ff"; "ok";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (c : Experiment.des_check) ->
+        let st = c.Experiment.des_stats in
+        [
+          c.Experiment.des_scenario;
+          string_of_int c.Experiment.des_nodes;
+          string_of_int c.Experiment.des_shards;
+          Units.time_to_string c.Experiment.serial.Cluster_des.completion;
+          Units.time_to_string c.Experiment.sharded.Cluster_des.completion;
+          string_of_int c.Experiment.sharded.Cluster_des.messages;
+          string_of_int st.Cluster_des.shard_events;
+          string_of_int st.Cluster_des.cross_messages;
+          string_of_int st.Cluster_des.null_messages;
+          string_of_int st.Cluster_des.epochs;
+          string_of_int st.Cluster_des.fast_forwarded;
+          (if Experiment.des_identical c then "yes" else "NO");
+        ])
+      checks
+  in
+  Printf.sprintf "sharded-DES cross-check (serial heap vs %s)\n%s"
+    (match checks with
+    | c :: _ -> Printf.sprintf "%d shard(s)" c.Experiment.des_shards
+    | [] -> "sharded")
+    (Table.render ~header rows)

@@ -68,6 +68,13 @@ val suite_json :
     and the per-app {!json} exports.  Deterministic field order, so
     byte-identical inputs render byte-identical files. *)
 
+val des_table : Experiment.des_check list -> string
+(** The [--des-shards] verdict: one row per scenario with the serial
+    and sharded completion times side by side plus the conservative
+    protocol's counters (events, cross-shard messages, nulls, epochs,
+    fast-forwarded iterations).  The final column says whether the two
+    runs were byte-identical. *)
+
 val supervision_summary : Experiment.supervised -> string
 (** The degradation report: computed/replayed/retried/quarantined
     counts plus one line per quarantined cell (label, attempts,

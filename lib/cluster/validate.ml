@@ -1,6 +1,7 @@
 let max_nodes = 1_048_576
 let max_runs = 1_000
 let max_jobs = 512
+let max_des_shards = 512
 
 let nodes n =
   if n >= 1 && n <= max_nodes then Ok n
@@ -23,6 +24,14 @@ let jobs n =
     Error
       (Printf.sprintf
          "invalid jobs value %d: expected 0 (all cores) to %d" n max_jobs)
+
+let des_shards n =
+  if n >= 0 && n <= max_des_shards then Ok n
+  else
+    Error
+      (Printf.sprintf
+         "invalid des-shards value %d: expected 0 (one per core) to %d" n
+         max_des_shards)
 
 let runs n =
   if n >= 1 && n <= max_runs then Ok n

@@ -8,6 +8,7 @@
 val max_nodes : int
 val max_runs : int
 val max_jobs : int
+val max_des_shards : int
 
 val nodes : int -> (int, string) result
 (** Positive and at most {!max_nodes}. *)
@@ -20,6 +21,10 @@ val jobs : int -> (int, string) result
 
 val runs : int -> (int, string) result
 (** [1] to {!max_runs}. *)
+
+val des_shards : int -> (int, string) result
+(** [0] (one shard per recommended domain) to {!max_des_shards}, for
+    the [--des-shards] sharded-DES validation tier. *)
 
 val app : string -> (Mk_apps.App.t, string) result
 (** Lookup through {!Mk_apps.Registry.find}; the error lists every

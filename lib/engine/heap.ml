@@ -57,6 +57,10 @@ let peek t =
     | Entry e -> Some (e.key, e.value)
     | Nil -> assert false
 
+let min_key t =
+  if t.size = 0 then None
+  else match t.data.(0) with Entry e -> Some e.key | Nil -> assert false
+
 let sift_down t =
   let i = ref 0 in
   let continue = ref true in

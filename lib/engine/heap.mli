@@ -16,6 +16,11 @@ val push : 'a t -> key:int -> 'a -> unit
 val peek : 'a t -> (int * 'a) option
 (** Smallest (key, value), without removing it. *)
 
+val min_key : 'a t -> int option
+(** Smallest key alone — the lookahead peek: {!Shard}'s coordinator
+    asks every heap for its next timestamp each epoch, and has no use
+    for the value. *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the smallest (key, value).  The vacated slot is
     overwritten, so the heap retains no reference to popped values. *)

@@ -1,0 +1,193 @@
+(* Conservative (Chandy–Misra–Bryant-style) parallel DES.
+
+   The event population is partitioned into [shards], each owning a
+   private {!Sim} heap.  Shards advance in lockstep *epochs*: before
+   an epoch the coordinator computes the globally earliest pending
+   timestamp [g] — over every heap and every in-flight mailbox message
+   — and hands all shards the horizon [g + lookahead - 1].  Processing
+   an event at time [t] may only send a cross-shard message stamped
+   [>= t + lookahead >= g + lookahead], i.e. strictly past the
+   horizon, so no message generated during an epoch can land inside
+   it: every shard fires its own events in timestamp order and drains
+   each inbox FIFO, which makes the parallel run a deterministic
+   interleaving — identical for any shard-to-domain placement, pool
+   size, or no pool at all.
+
+   Cross-shard messages travel through per-ordered-pair SPSC
+   {!Mailbox}es.  A shard that sent a peer nothing during an epoch
+   pushes a *null message* instead: a promise that nothing earlier
+   than [now + lookahead] will ever arrive on that pair.  The epoch
+   barrier already carries the global bound, so the nulls are not
+   needed for progress here — they are the per-pair safety net: each
+   receiver checks every real message against the last promise and
+   fails loudly on a protocol violation rather than reordering
+   events. *)
+
+type 'msg t = {
+  id : int;
+  shards : int;
+  sim : Sim.t;
+  lookahead : Units.time;
+  deliver : 'msg t -> 'msg -> unit;
+  inboxes : 'msg packet Mailbox.t array;  (* indexed by source shard *)
+  outboxes : 'msg packet Mailbox.t array;  (* indexed by destination shard *)
+  sent_to : bool array;  (* real traffic per destination, this epoch *)
+  promise : Units.time array;  (* per-source null-message bound *)
+  mutable events : int;
+  mutable cross_sent : int;
+  mutable nulls_sent : int;
+  mutable stalls : int;
+  mutable min_sent : Units.time;  (* earliest real send this epoch *)
+}
+
+and 'msg packet =
+  | Msg of { at : Units.time; payload : 'msg }
+  | Null of { bound : Units.time }
+
+type stats = {
+  shards : int;
+  epochs : int;
+  events : int array;
+  cross_messages : int array;
+  null_messages : int array;
+  horizon_stalls : int array;
+}
+
+let id (t : _ t) = t.id
+let shard_count (t : _ t) = t.shards
+let now (t : _ t) = Sim.now t.sim
+let lookahead (t : _ t) = t.lookahead
+
+(* Both operands are non-negative; [max_int] means "never". *)
+let sat_add a b = if a >= max_int - b then max_int else a + b
+
+let schedule (t : _ t) ~at handler =
+  ignore
+    (Sim.schedule t.sim ~at (fun _ ->
+         t.events <- t.events + 1;
+         handler t))
+
+let send (t : 'msg t) ~shard ~at (payload : 'msg) =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Shard.send: destination shard out of range";
+  if shard = t.id then
+    ignore
+      (Sim.schedule t.sim ~at (fun _ ->
+           t.events <- t.events + 1;
+           t.deliver t payload))
+  else begin
+    if at < sat_add (Sim.now t.sim) t.lookahead then
+      invalid_arg "Shard.send: cross-shard message inside the lookahead window";
+    Mailbox.push t.outboxes.(shard) (Msg { at; payload });
+    t.sent_to.(shard) <- true;
+    t.cross_sent <- t.cross_sent + 1;
+    if at < t.min_sent then t.min_sent <- at
+  end
+
+(* One shard's share of an epoch: merge the mail received at the
+   boundary (in source-shard order — the deterministic merge), fire
+   everything up to the horizon, then promise every silent peer a
+   bound for the next epoch.  Returns (next local timestamp, earliest
+   real send), the shard's contribution to the next global bound. *)
+let epoch (t : _ t) ~horizon =
+  for src = 0 to t.shards - 1 do
+    if src <> t.id then begin
+      let box = t.inboxes.(src) in
+      let rec drain () =
+        match Mailbox.pop box with
+        | None -> ()
+        | Some (Msg { at; payload }) ->
+            if at < t.promise.(src) then
+              invalid_arg "Shard: message arrived before its null promise";
+            ignore
+              (Sim.schedule t.sim ~at (fun _ ->
+                   t.events <- t.events + 1;
+                   t.deliver t payload));
+            drain ()
+        | Some (Null { bound }) ->
+            if bound > t.promise.(src) then t.promise.(src) <- bound;
+            drain ()
+      in
+      drain ()
+    end
+  done;
+  let before = t.events in
+  Array.fill t.sent_to 0 t.shards false;
+  t.min_sent <- max_int;
+  Sim.run ~until:horizon t.sim;
+  let next = Sim.next_time t.sim in
+  if t.events = before && next <> None then t.stalls <- t.stalls + 1;
+  let bound = sat_add (Sim.now t.sim) t.lookahead in
+  for dst = 0 to t.shards - 1 do
+    if dst <> t.id && not t.sent_to.(dst) then begin
+      Mailbox.push t.outboxes.(dst) (Null { bound });
+      t.nulls_sent <- t.nulls_sent + 1
+    end
+  done;
+  (next, (if t.min_sent = max_int then None else Some t.min_sent))
+
+let run ?pool ~shards ~lookahead ~init ~receive () =
+  if shards <= 0 then invalid_arg "Shard.run: shards must be positive";
+  if lookahead <= 0 then invalid_arg "Shard.run: lookahead must be positive";
+  let boxes =
+    Array.init shards (fun _ -> Array.init shards (fun _ -> Mailbox.create ()))
+  in
+  let ts =
+    Array.init shards (fun i ->
+        {
+          id = i;
+          shards;
+          sim = Sim.create ();
+          lookahead;
+          deliver = receive;
+          inboxes = Array.init shards (fun src -> boxes.(src).(i));
+          outboxes = boxes.(i);
+          sent_to = Array.make shards false;
+          promise = Array.make shards 0;
+          events = 0;
+          cross_sent = 0;
+          nulls_sent = 0;
+          stalls = 0;
+          min_sent = max_int;
+        })
+  in
+  let ids = List.init shards (fun i -> i) in
+  let global_bound reports =
+    List.fold_left
+      (fun acc (next, sent) ->
+        let acc = match next with Some v -> min acc v | None -> acc in
+        match sent with Some v -> min acc v | None -> acc)
+      max_int reports
+  in
+  (* Round zero populates the heaps (in parallel: [init] may be the
+     expensive part, e.g. per-node noise draws); every later round is
+     one epoch under the freshly computed horizon. *)
+  let epochs = ref 0 in
+  let reports =
+    ref
+      (Pool.parallel_map ?pool
+         (fun i ->
+           let t = ts.(i) in
+           init t;
+           (Sim.next_time t.sim, None))
+         ids)
+  in
+  let continue = ref true in
+  while !continue do
+    let g = global_bound !reports in
+    if g = max_int then continue := false
+    else begin
+      incr epochs;
+      let horizon = sat_add g (lookahead - 1) in
+      reports :=
+        Pool.parallel_map ?pool (fun i -> epoch ts.(i) ~horizon) ids
+    end
+  done;
+  {
+    shards;
+    epochs = !epochs;
+    events = Array.map (fun (t : _ t) -> t.events) ts;
+    cross_messages = Array.map (fun (t : _ t) -> t.cross_sent) ts;
+    null_messages = Array.map (fun (t : _ t) -> t.nulls_sent) ts;
+    horizon_stalls = Array.map (fun (t : _ t) -> t.stalls) ts;
+  }

@@ -1,0 +1,72 @@
+(** Sharded, conservatively synchronised parallel DES.
+
+    Partitions an event simulation into [shards] independent {!Sim}
+    heaps that advance in parallel — one {!Pool} task per shard per
+    epoch — while producing output {e byte-identical} to a single
+    serial heap.  The synchronisation is conservative in the
+    Chandy–Misra–Bryant sense: a model must declare a [lookahead]
+    [L > 0] and promise that an event processed at time [t] only
+    sends cross-shard messages stamped [t + L] or later ({!send}
+    enforces this).  Each epoch then safely fires everything up to
+    [g + L - 1], where [g] is the globally earliest pending
+    timestamp; cross-shard messages ride per-ordered-pair SPSC
+    {!Mailbox}es and are merged at the epoch boundary in source-shard
+    order, with null-message promises covering silent pairs.  The
+    protocol, the lookahead derivation for the cluster model, and the
+    determinism argument are spelled out in [docs/SHARDING.md]. *)
+
+type 'msg t
+(** One shard, as seen by model code running inside it: a private
+    clock and event heap plus mailboxes to its peers.  ['msg] is the
+    model's cross-shard message type. *)
+
+val id : 'msg t -> int
+val shard_count : 'msg t -> int
+
+val now : 'msg t -> Units.time
+(** The shard's private clock; shards drift within an epoch and never
+    observably disagree (any event they could exchange is ordered by
+    the lookahead). *)
+
+val lookahead : 'msg t -> Units.time
+
+val schedule : 'msg t -> at:Units.time -> ('msg t -> unit) -> unit
+(** Schedule a local event on this shard's heap.
+    @raise Invalid_argument if [at] precedes the shard's clock. *)
+
+val send : 'msg t -> shard:int -> at:Units.time -> 'msg -> unit
+(** Deliver [payload] to [shard] at absolute time [at].  Same-shard
+    sends are ordinary local events.  Cross-shard sends must respect
+    the lookahead contract.
+    @raise Invalid_argument if [shard] is out of range, or if the
+    send is cross-shard with [at < now + lookahead]. *)
+
+type stats = {
+  shards : int;
+  epochs : int;  (** synchronisation rounds after the init round *)
+  events : int array;  (** events fired, per shard *)
+  cross_messages : int array;  (** real cross-shard messages sent, per shard *)
+  null_messages : int array;  (** null promises sent, per shard *)
+  horizon_stalls : int array;
+      (** epochs a shard held pending events but could fire none *)
+}
+(** All deterministic: identical for every pool size, including none —
+    safe to feed observability counters or snapshots. *)
+
+val run :
+  ?pool:Pool.t ->
+  shards:int ->
+  lookahead:Units.time ->
+  init:('msg t -> unit) ->
+  receive:('msg t -> 'msg -> unit) ->
+  unit ->
+  stats
+(** Run a sharded simulation to completion.  [init] is called once
+    per shard (in parallel) to populate its heap; [receive] handles
+    each delivered cross- or same-shard {!send} — it fires at the
+    message's timestamp, so [now t] inside it {e is} the [at] of the
+    send.  Epochs repeat until every heap is empty and no message is
+    in flight.  Uses the ambient default pool when [pool] is absent;
+    degrades to a sequential loop inside a pool worker, with
+    identical results.
+    @raise Invalid_argument when [shards <= 0] or [lookahead <= 0]. *)

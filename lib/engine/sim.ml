@@ -81,6 +81,10 @@ let rec drop_cancelled t =
       drop_cancelled t
   | _ -> ()
 
+let next_time t =
+  drop_cancelled t;
+  Heap.min_key t.queue
+
 let advance_to t target =
   if target < t.clock then invalid_arg "Sim.advance_to: target in the past";
   drop_cancelled t;

@@ -35,6 +35,11 @@ val run : ?until:Units.time -> t -> unit
 (** Fire events until the queue drains, or until the clock would pass
     [until] (events at exactly [until] still fire). *)
 
+val next_time : t -> Units.time option
+(** Timestamp of the earliest live event, without firing it —
+    {!Shard}'s lookahead peek.  Drops cancelled entries it passes
+    over, so repeated calls stay cheap. *)
+
 val advance_to : t -> Units.time -> unit
 (** Move the clock forward without firing events; only valid when no
     pending event precedes the target time.

@@ -55,6 +55,17 @@ let wire_time t ~src ~dst ~bytes =
     end
   end
 
+(* The healthy-path cost is identical for every cross-region pair, and
+   link degradation only multiplies it upward, so this is a sound
+   lower bound on any message between nodes under different edge
+   switches — the sharded DES's lookahead.  [max_int] when the fabric
+   has a single region: no cross-region message can exist at all. *)
+let min_cross_region_time t ~bytes =
+  if Topology.regions t.topology <= 1 then max_int
+  else
+    base_latency + (3 * per_hop) + Nic.injection_overhead
+    + Mk_engine.Units.transfer_time ~bytes ~bw:Nic.wire_bandwidth
+
 let message t ~src ~dst ~bytes =
   let wire = wire_time t ~src ~dst ~bytes in
   let control = if src = dst then [] else Nic.control_syscalls t.nic ~bytes in

@@ -27,6 +27,15 @@ val message :
 val base_latency : Mk_engine.Units.time
 val per_hop : Mk_engine.Units.time
 
+val min_cross_region_time : t -> bytes:int -> Mk_engine.Units.time
+(** Lower bound on {!wire_time} between nodes in different
+    {!Topology.region}s, for messages of [bytes]: the healthy 3-hop
+    cost ([base_latency + 3*per_hop + injection + serialisation]).
+    Degraded links only raise the true cost, so the bound survives
+    fault injection.  [max_int] when the topology has one region.
+    This is the lookahead a region-partitioned {!Mk_engine.Shard}
+    simulation may claim. *)
+
 (** {1 Link degradation} (fault injection)
 
     A degraded endpoint multiplies the wire time of every message it

@@ -7,6 +7,10 @@ let make ?(ports_per_edge = 48) ~nodes () =
 
 let nodes t = t.nodes
 
+let region t n = n / t.edge_size
+
+let regions t = ((t.nodes - 1) / t.edge_size) + 1
+
 let same_edge t a b = a / t.edge_size = b / t.edge_size
 
 let hops t ~src ~dst =

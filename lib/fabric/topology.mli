@@ -15,3 +15,11 @@ val hops : t -> src:int -> dst:int -> int
     switch) or 3 (via a spine). *)
 
 val same_edge : t -> int -> int -> bool
+
+val region : t -> int -> int
+(** Edge-switch index of a node — the unit the sharded DES partitions
+    by: traffic between distinct regions always crosses a spine
+    (3 hops), which is what gives the scheme its lookahead. *)
+
+val regions : t -> int
+(** Number of edge switches ([region] values are [0 .. regions - 1]). *)

@@ -245,6 +245,147 @@ let test_des_message_count () =
      iteration, 10 iterations. *)
   check_int "messages" (2 * 15 * 10) des.Cluster_des.messages
 
+(* ------------------------------------------------------------------ *)
+(* Sharded parallel DES: byte-identity with the single-heap run *)
+
+let des_window = 2 * Mk_engine.Units.ms
+
+let des_serial ~nodes ~profile ~seed ~iterations =
+  let fabric = Mk_fabric.Fabric.make ~nodes () in
+  Cluster_des.allreduce_loop ~nodes ~ranks_per_node:64 ~threads_per_rank:1
+    ~window:des_window ~iterations ~bytes:8 ~profile ~fabric ~seed
+
+let des_sharded ?pool ?fast_forward ~shards ~nodes ~profile ~seed ~iterations
+    () =
+  let fabric = Mk_fabric.Fabric.make ~nodes () in
+  Cluster_des.sharded_allreduce_loop ?pool ?fast_forward ~shards ~nodes
+    ~ranks_per_node:64 ~threads_per_rank:1 ~window:des_window ~iterations
+    ~bytes:8 ~profile ~fabric ~seed ()
+
+let check_des_result name (a : Cluster_des.result) (b : Cluster_des.result) =
+  check_int (name ^ ": completion") a.Cluster_des.completion
+    b.Cluster_des.completion;
+  check_int (name ^ ": messages") a.Cluster_des.messages b.Cluster_des.messages
+
+let test_des_sharded_identity () =
+  (* 100 nodes span 5 fabric regions (24-node edge switches), so 2, 4
+     and 8 shards all see real cross-shard traffic. *)
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun nodes ->
+          let serial = des_serial ~nodes ~profile ~seed:3 ~iterations:4 in
+          List.iter
+            (fun shards ->
+              let sharded, _ =
+                des_sharded ~shards ~nodes ~profile ~seed:3 ~iterations:4 ()
+              in
+              check_des_result
+                (Printf.sprintf "%d nodes, %d shards" nodes shards)
+                serial sharded)
+            [ 1; 2; 4; 8 ])
+        [ 1; 16; 60; 100 ])
+    [ Mk_noise.Profile.silent; Mk_noise.Profile.linux_nohz_full ]
+
+let test_des_sharded_every_scenario () =
+  (* The acceptance bar: for every OS scenario in the suite, the
+     sharded DES reproduces the single-heap DES bit for bit. *)
+  List.iter
+    (fun (sc : Scenario.t) ->
+      let os = sc.Scenario.make () in
+      let profile = os.Mk_kernel.Os.app_noise in
+      let serial = des_serial ~nodes:100 ~profile ~seed:11 ~iterations:5 in
+      List.iter
+        (fun shards ->
+          let sharded, _ =
+            des_sharded ~shards ~nodes:100 ~profile ~seed:11 ~iterations:5 ()
+          in
+          check_des_result
+            (Printf.sprintf "%s with %d shards" sc.Scenario.label shards)
+            serial sharded)
+        [ 2; 5 ])
+    Scenario.trio
+
+let test_des_sharded_crossings () =
+  (* Sanity that the identity above is not vacuous: multi-region runs
+     must actually exchange cross-shard messages and null promises. *)
+  let _, s =
+    des_sharded ~shards:4 ~nodes:100 ~profile:Mk_noise.Profile.silent ~seed:3
+      ~fast_forward:false ~iterations:3 ()
+  in
+  check_bool "cross traffic" true (s.Cluster_des.cross_messages > 0);
+  check_bool "null messages" true (s.Cluster_des.null_messages > 0);
+  check_bool "events" true (s.Cluster_des.shard_events > 0);
+  check_bool "epochs" true (s.Cluster_des.epochs > 0)
+
+let test_des_fast_forward_equivalence () =
+  (* Closed-form advancement must be unobservable in the result, and
+     must actually engage: a silent 40-iteration run simulates only
+     the first two iterations event by event. *)
+  List.iter
+    (fun nodes ->
+      let replay, rs =
+        des_sharded ~shards:4 ~nodes ~profile:Mk_noise.Profile.silent ~seed:5
+          ~fast_forward:false ~iterations:40 ()
+      in
+      let ff, fs =
+        des_sharded ~shards:4 ~nodes ~profile:Mk_noise.Profile.silent ~seed:5
+          ~iterations:40 ()
+      in
+      check_des_result (Printf.sprintf "ff at %d nodes" nodes) replay ff;
+      check_int
+        (Printf.sprintf "38 of 40 iterations skipped at %d nodes" nodes)
+        38 fs.Cluster_des.fast_forwarded;
+      check_bool "fewer events" true
+        (fs.Cluster_des.shard_events < rs.Cluster_des.shard_events);
+      (* serial reference too, for completeness *)
+      check_des_result "ff vs serial"
+        (des_serial ~nodes ~profile:Mk_noise.Profile.silent ~seed:5
+           ~iterations:40)
+        ff)
+    [ 30; 100 ];
+  (* noise defeats the periodicity test, so nothing may be skipped *)
+  let _, ns =
+    des_sharded ~shards:4 ~nodes:30 ~profile:Mk_noise.Profile.linux_nohz_full
+      ~seed:5 ~iterations:6 ()
+  in
+  check_int "no skip under noise" 0 ns.Cluster_des.fast_forwarded
+
+let test_des_sharded_pool_identity () =
+  (* Real cross-domain execution: results and the deterministic stats
+     must match the in-process sequential sharded run exactly. *)
+  let profile = Mk_noise.Profile.linux_nohz_full in
+  let seq, seq_s =
+    des_sharded ~shards:4 ~nodes:100 ~profile ~seed:9 ~iterations:4 ()
+  in
+  let pool = Mk_engine.Pool.create ~oversubscribe:true ~num_domains:4 () in
+  let par, par_s =
+    des_sharded ~pool ~shards:4 ~nodes:100 ~profile ~seed:9 ~iterations:4 ()
+  in
+  Mk_engine.Pool.shutdown pool;
+  check_des_result "pool vs sequential" seq par;
+  check_bool "stats identical" true (seq_s = par_s)
+
+let des_shard_invariance_q =
+  QCheck.Test.make ~name:"sharded DES = single-heap DES, any shard count"
+    ~count:25
+    QCheck.(
+      triple (int_range 1 120) (int_range 0 1000) (int_range 1 3))
+    (fun (nodes, seed, iterations) ->
+      let profile =
+        (* alternate profiles with the seed so both paths are covered *)
+        if seed mod 2 = 0 then Mk_noise.Profile.silent
+        else Mk_noise.Profile.mos_lwk
+      in
+      let serial = des_serial ~nodes ~profile ~seed ~iterations in
+      List.for_all
+        (fun shards ->
+          let sharded, _ =
+            des_sharded ~shards ~nodes ~profile ~seed ~iterations ()
+          in
+          sharded = serial)
+        [ 1; 2; 4; 8 ])
+
 let test_parallel_matches_sequential () =
   (* The determinism contract of docs/PARALLELISM.md: fanning a sweep
      out across domains must not change one byte of any rendering. *)
@@ -360,7 +501,16 @@ let test_validate_ranges () =
   check_bool "runs zero" true (Result.is_error (Validate.runs 0));
   check_bool "node_counts empty" true (Result.is_error (Validate.node_counts []));
   check_bool "node_counts bad member" true
-    (Result.is_error (Validate.node_counts [ 4; 0 ]))
+    (Result.is_error (Validate.node_counts [ 4; 0 ]));
+  check_bool "des_shards ok" true (Validate.des_shards 4 = Ok 4);
+  check_bool "des_shards 0 means one per core" true
+    (Validate.des_shards 0 = Ok 0);
+  check_bool "des_shards negative" true
+    (Result.is_error (Validate.des_shards (-1)));
+  check_bool "des_shards huge" true
+    (contains
+       (err (Validate.des_shards (Validate.max_des_shards + 1)))
+       "des-shards")
 
 let test_validate_fault_args () =
   check_bool "preset ok" true (Validate.fault_preset "Mixed " = Ok "mixed");
@@ -575,6 +725,17 @@ let () =
           Alcotest.test_case "DES matches analytic (noisy)" `Quick
             test_des_matches_analytic_noisy;
           Alcotest.test_case "DES message count" `Quick test_des_message_count;
+          Alcotest.test_case "DES sharded identity" `Quick
+            test_des_sharded_identity;
+          Alcotest.test_case "DES sharded every scenario" `Slow
+            test_des_sharded_every_scenario;
+          Alcotest.test_case "DES sharded crossings" `Quick
+            test_des_sharded_crossings;
+          Alcotest.test_case "DES fast-forward equivalence" `Quick
+            test_des_fast_forward_equivalence;
+          Alcotest.test_case "DES sharded pool identity" `Quick
+            test_des_sharded_pool_identity;
+          QCheck_alcotest.to_alcotest des_shard_invariance_q;
           Alcotest.test_case "calibration relations" `Quick test_calibration_relations;
           Alcotest.test_case "table1 ordering" `Slow test_table1_ordering;
           Alcotest.test_case "quadrant rescues linux" `Slow

@@ -764,6 +764,134 @@ let test_deque_cross_domain_steal () =
     (!popped_sum + Atomic.get stolen_sum)
 
 (* ------------------------------------------------------------------ *)
+(* Mailbox: the SPSC channel between shards *)
+
+let test_mailbox_fifo () =
+  let m = Mailbox.create () in
+  check_bool "starts empty" true (Mailbox.is_empty m);
+  List.iter (Mailbox.push m) [ 1; 2; 3 ];
+  check_bool "not empty" true (not (Mailbox.is_empty m));
+  Alcotest.(check (list int))
+    "FIFO" [ 1; 2; 3 ]
+    (take3 (fun () -> Mailbox.pop m));
+  check_bool "drained" true (Mailbox.pop m = None);
+  check_bool "empty again" true (Mailbox.is_empty m)
+
+let test_mailbox_cross_domain () =
+  (* One producer domain, the test domain consuming concurrently —
+     the {!Deque} stress test's shape on the SPSC queue.  Every push
+     must arrive exactly once, in order. *)
+  let m = Mailbox.create () in
+  let n = 50_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Mailbox.push m i;
+          if i land 1023 = 0 then Domain.cpu_relax ()
+        done)
+  in
+  let received = ref 0 and sum = ref 0 and in_order = ref true in
+  while !received < n do
+    match Mailbox.pop m with
+    | Some v ->
+        if v <> !received + 1 then in_order := false;
+        received := !received + 1;
+        sum := !sum + v
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check_bool "strict FIFO across domains" true !in_order;
+  check_int "every push delivered once" (n * (n + 1) / 2) !sum;
+  check_bool "nothing extra" true (Mailbox.pop m = None)
+
+(* ------------------------------------------------------------------ *)
+(* Shard: conservative sharded DES *)
+
+let test_shard_invalid_args () =
+  let nop _ = () in
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Shard.run: shards must be positive") (fun () ->
+      ignore (Shard.run ~shards:0 ~lookahead:1 ~init:nop ~receive:(fun _ () -> ()) ()));
+  Alcotest.check_raises "zero lookahead"
+    (Invalid_argument "Shard.run: lookahead must be positive") (fun () ->
+      ignore (Shard.run ~shards:1 ~lookahead:0 ~init:nop ~receive:(fun _ () -> ()) ()))
+
+let test_shard_lookahead_contract () =
+  (* A cross-shard send inside the lookahead window is a model bug
+     and must be rejected loudly. *)
+  let saw = ref None in
+  (try
+     ignore
+       (Shard.run ~shards:2 ~lookahead:100
+          ~init:(fun t ->
+            if Shard.id t = 0 then
+              Shard.schedule t ~at:10 (fun t ->
+                  Shard.send t ~shard:1 ~at:50 ()))
+          ~receive:(fun _ () -> ())
+          ())
+   with Invalid_argument msg -> saw := Some msg);
+  check_bool "rejected" true
+    (!saw = Some "Shard.send: cross-shard message inside the lookahead window")
+
+let test_shard_ping_pong () =
+  (* Two shards bouncing a counter: every delivery happens at its
+     send timestamp, in order, regardless of sharding. *)
+  let log = ref [] in
+  let lookahead = 10 in
+  let stats =
+    Shard.run ~shards:2 ~lookahead
+      ~init:(fun t ->
+        if Shard.id t = 0 then
+          Shard.schedule t ~at:0 (fun t -> Shard.send t ~shard:1 ~at:lookahead 1))
+      ~receive:(fun t n ->
+        log := (Shard.id t, Shard.now t, n) :: !log;
+        if n < 5 then
+          Shard.send t ~shard:(1 - Shard.id t)
+            ~at:(Shard.now t + lookahead)
+            (n + 1))
+      ()
+  in
+  Alcotest.(check (list (triple int int int)))
+    "alternating deliveries at exact times"
+    [ (1, 10, 1); (0, 20, 2); (1, 30, 3); (0, 40, 4); (1, 50, 5) ]
+    (List.rev !log);
+  check_int "epochs ran" 6 stats.Shard.epochs;
+  check_int "crossings" 5
+    (Array.fold_left ( + ) 0 stats.Shard.cross_messages);
+  check_bool "nulls flowed" true
+    (Array.fold_left ( + ) 0 stats.Shard.null_messages > 0)
+
+let test_shard_single_equals_many () =
+  (* A deterministic workload must log identically for any shard
+     count; with one shard the engine is just Sim with extra steps. *)
+  let run shards =
+    let log = ref [] in
+    let stats =
+      Shard.run ~shards ~lookahead:7
+        ~init:(fun t ->
+          List.iter
+            (fun g ->
+              if g mod shards = Shard.id t then
+                Shard.schedule t ~at:g (fun t ->
+                    Shard.send t ~shard:((g + 1) mod shards)
+                      ~at:(Shard.now t + 7 + (g mod 3))
+                      g))
+            [ 0; 1; 2; 3; 4; 5 ])
+        ~receive:(fun t g -> log := (Shard.now t, g) :: !log)
+        ()
+    in
+    (List.sort compare !log, Array.fold_left ( + ) 0 stats.Shard.events)
+  in
+  let one = run 1 in
+  List.iter
+    (fun shards ->
+      check_bool
+        (Printf.sprintf "%d shards = 1 shard" shards)
+        true
+        (run shards = one))
+    [ 2; 3; 6 ]
+
+(* ------------------------------------------------------------------ *)
 (* Pool *)
 
 let test_pool_invalid_size () =
@@ -1161,6 +1289,21 @@ let () =
           Alcotest.test_case "ring growth" `Quick test_deque_growth;
           Alcotest.test_case "cross-domain steal stress" `Quick
             test_deque_cross_domain_steal;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "cross-domain stress" `Quick
+            test_mailbox_cross_domain;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "invalid args" `Quick test_shard_invalid_args;
+          Alcotest.test_case "lookahead contract" `Quick
+            test_shard_lookahead_contract;
+          Alcotest.test_case "ping pong" `Quick test_shard_ping_pong;
+          Alcotest.test_case "shard count invariance" `Quick
+            test_shard_single_equals_many;
         ] );
       ( "pool",
         [
