@@ -1,5 +1,5 @@
 # Convenience aliases around dune; ci.sh remains the authoritative gate.
-.PHONY: build test lint lint-json doc ci trace-smoke chaos-smoke scale-smoke scale
+.PHONY: build test lint lint-json lint-sarif dscheck doc ci trace-smoke chaos-smoke scale-smoke scale
 
 build:
 	dune build
@@ -12,6 +12,22 @@ lint:
 
 lint-json:
 	dune exec mklint -- --json
+
+lint-sarif:
+	dune exec mklint -- --sarif
+
+# DSCheck model-checking of the lock-free engine (Deque owner/thief
+# interleavings with ring growth, Mailbox SPSC) — see
+# test/dscheck/dune.  dscheck is a dev-only dependency: when the
+# package is not installed the target skips with a notice rather than
+# failing, mirroring the odoc gate in ci.sh.
+dscheck:
+	@if ocamlfind query dscheck >/dev/null 2>&1; then \
+	  dune exec --profile dscheck test/dscheck/dscheck_engine.exe; \
+	else \
+	  echo "dscheck: package not installed; skipping model-checking" \
+	    "(opam install dscheck to enable)"; \
+	fi
 
 doc:
 	dune build @doc

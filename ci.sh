@@ -18,6 +18,18 @@ dune build
 # carried in .mklint-baseline.
 dune exec mklint -- --ci
 
+# The SARIF export must stay well-formed: emit it for the whole tree
+# and round-trip it through the same JSON parser that guards the
+# results snapshots.
+sarif_tmp=$(mktemp)
+dune exec mklint -- --sarif >"$sarif_tmp" || true
+dune exec bench/main.exe -- check-json "$sarif_tmp" || {
+  echo "ci.sh: mklint --sarif emitted malformed JSON" >&2
+  rm -f "$sarif_tmp"
+  exit 1
+}
+rm -f "$sarif_tmp"
+
 dune runtest
 
 # Robustness gates, run explicitly so a failure is attributable even
@@ -84,6 +96,17 @@ cmp bench/results/trace-smoke-seq.json bench/results/trace-smoke-par.json || {
   exit 1
 }
 dune exec bench/main.exe -- check-json bench/results/trace-smoke-seq.json
+
+# Model-checking gate (test/dscheck/): DSCheck exhaustively
+# interleaves the lock-free Deque (owner push/pop vs thief steal,
+# ring growth) and the SPSC Mailbox at atomic-operation granularity.
+# dscheck is a dev-only dependency; lean toolchains without it say so
+# loudly instead of silently passing, mirroring the odoc gate below.
+if ocamlfind query dscheck >/dev/null 2>&1; then
+  dune exec --profile dscheck test/dscheck/dscheck_engine.exe
+else
+  echo "ci.sh: WARNING: dscheck not installed; model-checking gate NOT run (opam install dscheck)" >&2
+fi
 
 # API-doc gate: odoc warnings are fatal (root `dune` env stanza), so
 # a broken {!reference} or malformed doc comment fails the build, not

@@ -1,8 +1,29 @@
-type entry = { rule : Rule.id; file : string; line : int }
+type key = Line of int | Hash of string
+type entry = { rule : Rule.id; file : string; key : key }
 type t = entry list
 
 let empty = []
 let is_empty t = t = []
+
+(* 12 hex chars of the MD5 of the trimmed line: long enough that two
+   different flagged lines in one file never collide in practice, short
+   enough to stay readable in a diff. *)
+let hash_of_line text =
+  String.sub (Digest.to_hex (Digest.string (String.trim text))) 0 12
+
+let is_digits s =
+  s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let is_hash s =
+  String.length s = 12
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let parse_key s =
+  if is_digits s then Option.map (fun l -> Line l) (int_of_string_opt s)
+  else if is_hash s then Some (Hash s)
+  else None
 
 let parse_line ln s =
   let s = String.trim s in
@@ -13,15 +34,17 @@ let parse_line ln s =
         match (Rule.id_of_string rule, String.rindex_opt loc ':') with
         | Some rule, Some i -> (
             let file = String.sub loc 0 i in
-            let line = String.sub loc (i + 1) (String.length loc - i - 1) in
-            match int_of_string_opt line with
-            | Some line when file <> "" -> Ok (Some { rule; file; line })
-            | _ -> Error (Printf.sprintf "baseline line %d: bad location %S" ln loc))
+            let key = String.sub loc (i + 1) (String.length loc - i - 1) in
+            match parse_key key with
+            | Some key when file <> "" -> Ok (Some { rule; file; key })
+            | _ ->
+                Error
+                  (Printf.sprintf "baseline line %d: bad location %S" ln loc))
         | _ -> Error (Printf.sprintf "baseline line %d: unparseable entry %S" ln s))
     | _ ->
         Error
-          (Printf.sprintf "baseline line %d: expected 'RULE file:line', got %S"
-             ln s)
+          (Printf.sprintf
+             "baseline line %d: expected 'RULE file:line-hash', got %S" ln s)
 
 let load path =
   if not (Sys.file_exists path) then Ok empty
@@ -44,18 +67,30 @@ let load path =
       (Ok empty)
       (List.mapi (fun i s -> (i + 1, s)) lines)
 
-let mem t (v : Rule.violation) =
-  List.exists (fun e -> e.rule = v.rule && e.file = v.file && e.line = v.line) t
+let mem t (v : Rule.violation) ~line_text =
+  let h = lazy (hash_of_line line_text) in
+  List.exists
+    (fun e ->
+      e.rule = v.rule && e.file = v.file
+      &&
+      match e.key with
+      | Line l -> l = v.line
+      | Hash s -> s = Lazy.force h)
+    t
 
-let render vs =
-  let entries =
+let render entries =
+  let lines =
     List.map
-      (fun (v : Rule.violation) ->
-        Printf.sprintf "%s %s:%d" (Rule.id_to_string v.rule) v.file v.line)
-      vs
+      (fun ((v : Rule.violation), text) ->
+        Printf.sprintf "%s %s:%s" (Rule.id_to_string v.rule) v.file
+          (hash_of_line text))
+      entries
     |> List.sort_uniq String.compare
   in
   String.concat "\n"
-    (("# mklint baseline: tolerated pre-existing findings, one 'RULE file:line' per line."
-     :: entries)
+    (("# mklint baseline: tolerated pre-existing findings, one entry per line."
+     :: "# Keys are 'RULE file:hash' where hash is the content hash of the"
+     :: "# flagged line, so edits elsewhere in the file cannot resurface an"
+     :: "# entry; legacy 'RULE file:line' entries still parse."
+     :: lines)
     @ [ "" ])

@@ -6,27 +6,40 @@
     entry per line, [#] comments and blank lines ignored:
 
     {v
-    # rule  file:line
-    R3 lib/cluster/report.ml:42
+    # rule  file:content-hash
+    R3 lib/cluster/report.ml:6e0f1a2b3c4d
     v}
 
-    Matching is exact on (rule, file, line), so moving or duplicating
-    a flagged construct surfaces it again.  The shipped baseline
-    ([.mklint-baseline]) is empty: every finding on the current tree
-    was fixed or inline-suppressed instead. *)
+    Entries are keyed by the content hash of the flagged line (the
+    first 12 hex chars of the MD5 of the trimmed line text), so edits
+    elsewhere in the file — which shift line numbers — cannot silently
+    resurface a tolerated finding.  Moving or rewriting the flagged
+    line itself does surface it again, which is the point.  Legacy
+    [RULE file:line] entries (all-digit key) still parse and match on
+    the line number; [--update-baseline] rewrites them to hashes.
+
+    The shipped baseline ([.mklint-baseline]) is empty: every finding
+    on the current tree was fixed or inline-suppressed instead. *)
 
 type t
 
 val empty : t
 val is_empty : t -> bool
 
+val hash_of_line : string -> string
+(** The content key of one source line (trimmed before hashing, so
+    re-indentation does not invalidate an entry). *)
+
 val load : string -> (t, string) result
 (** Read a baseline file.  A missing file is [Ok empty]; a malformed
     line is an [Error] naming it, so a typo cannot silently tolerate
     everything. *)
 
-val mem : t -> Rule.violation -> bool
+val mem : t -> Rule.violation -> line_text:string -> bool
+(** [line_text] is the source line the violation points at (used for
+    hash-keyed entries; legacy entries compare the line number). *)
 
-val render : Rule.violation list -> string
-(** Serialise violations as baseline entries (sorted, deduplicated) —
-    what [mklint --update-baseline] writes. *)
+val render : (Rule.violation * string) list -> string
+(** Serialise violations (each paired with its flagged line's text) as
+    hash-keyed baseline entries, sorted and deduplicated — what
+    [mklint --update-baseline] writes. *)

@@ -1,19 +1,24 @@
-(** The mklint analysis pass.
+(** The mklint syntactic analysis pass, plus report assembly for both
+    stages.
 
-    Parses [.ml]/[.mli] files with the compiler's own parser
-    (compiler-libs) and walks the parsetree for the rule catalogue in
-    {!Rule}.  Detection is syntactic and name-based: [Unix.gettimeofday]
-    reached through [let open Unix] or a module alias is not seen —
-    acceptable for a lint pass whose job is to keep the honest honest;
-    the byte-identity smoke tests remain the runtime backstop. *)
+    mklint runs in two stages.  This module is the *syntactic* fast
+    path: it parses [.ml]/[.mli] files with the compiler's own parser
+    (compiler-libs) and walks the parsetree for R1–R6.  The *typed*
+    deep path ({!Typed_lint}, R7–R9) reads the [.cmt] files dune
+    produces and re-joins this report through {!merge_typed}, so both
+    stages share one suppression/baseline/severity pipeline.  The
+    syntactic stage alone is name-based and does not see through
+    [let open] or module aliases; the typed stage closes exactly that
+    gap. *)
 
-type zone = Lib | Bin | Bench | Tools
+type zone = Lib | Bin | Bench | Tools | Test
 
 val classify : string -> zone option
 (** Zone of a root-relative path, by leading directory.  Rules are
-    zone-scoped: wall clock (R1) is banned in [Lib]/[Bin] but fine in
-    [Bench]; stdout printing (R5) and global mutable state (R4) are
-    [Lib]-only; ambient [Random] (R2) is banned everywhere. *)
+    zone-scoped: wall clock (R1) is banned in [Lib]/[Bin] (warning in
+    [Test], where harness timing is legal) but fine in [Bench]; stdout
+    printing (R5) and global mutable state (R4) are [Lib]-only;
+    ambient [Random] (R2) is banned everywhere (warning in [Test]). *)
 
 val serialization_files : string list
 (** Modules whose output bytes are compared or persisted; [R3] is an
@@ -26,10 +31,22 @@ val report_layer_files : string list
 val prng_files : string list
 (** The seeded-PRNG implementation, exempt from [R2]. *)
 
+val test_fixture_writer_files : string list
+(** Test files that write fixtures whose bytes are later compared;
+    [R3] is an error here even though the zone is [Test]. *)
+
+val ident_violation :
+  file:string -> zone:zone -> string -> Location.t -> Rule.violation option
+(** The shared R1/R2/R3/R5 identifier rule: does one fully-dotted name
+    at one location violate a rule in this file/zone?  Used by the
+    syntactic pass on written names and by the typed pass (R7) on
+    alias-resolved names. *)
+
 val lint_string : file:string -> string -> Rule.violation list
-(** Rule findings for one file given as contents.  [file] must be the
-    root-relative path (it decides zone and exemptions).  Suppressions,
-    baseline and R6 (which needs the tree) are not applied here. *)
+(** Syntactic findings for one file given as contents.  [file] must be
+    the root-relative path (it decides zone and exemptions).
+    Suppressions, baseline and R6 (which needs the tree) are not
+    applied here. *)
 
 type status = Active | Suppressed | Baselined
 
@@ -52,6 +69,19 @@ val lint_tree :
 (** Discover and lint every [.ml]/[.mli] under [dirs] (default
     {!default_dirs}), skipping [_build]-style and hidden directories. *)
 
+val merge_typed :
+  report -> baseline:Baseline.t -> Rule.violation list -> report
+(** Join typed-stage violations (R7/R8/R9, from {!Typed_lint}) into a
+    syntactic report.  Each violation passes through the same inline
+    suppression scan and baseline lookup as syntactic findings;
+    violations pointing outside the report's scanned file set (stale
+    or generated cmts) are dropped.  The result stays sorted and
+    deduplicated, so merging is order-insensitive. *)
+
+val source_line : root:string -> file:string -> int -> string
+(** The text of one source line (1-based), or [""] when out of range —
+    what hash-keyed baseline entries are computed from. *)
+
 val active : report -> Rule.violation list
 val errors : report -> Rule.violation list
 (** Active (not suppressed, not baselined) error-severity findings —
@@ -62,6 +92,11 @@ val warnings : report -> Rule.violation list
 val to_json : report -> Mk_engine.Json.t
 (** Machine-readable report ([mklint/1] schema), deterministic: files
     and findings are sorted, never in scan order. *)
+
+val to_sarif : report -> Mk_engine.Json.t
+(** The same report as SARIF 2.1.0, for diff-annotation tooling.
+    Suppressed findings carry a SARIF suppression of kind [inSource],
+    baselined ones kind [external]. *)
 
 val render : report -> string
 (** Human-readable listing plus a one-line summary. *)

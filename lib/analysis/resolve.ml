@@ -1,0 +1,80 @@
+(* Alias-aware naming of typedtree paths.
+
+   The typer already resolves [let open M in gettimeofday] to a fully
+   qualified path, but a module alias [module U = Unix] leaves
+   [Pdot (Pident U, "gettimeofday")] with the alias as the head.  We
+   collect every [module X = <path>] binding (top-level, nested and
+   [let module]) into a map keyed by the unique ident, and substitute
+   while printing, so [U.gettimeofday] names as [Unix.gettimeofday]. *)
+
+type t = { aliases : (string, string) Hashtbl.t }
+
+let empty () = { aliases = Hashtbl.create 16 }
+
+let rec path_name t (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt t.aliases (Ident.unique_name id) with
+      | Some target -> target
+      | None -> Ident.name id)
+  | Path.Pdot (p, s) -> path_name t p ^ "." ^ s
+  | Path.Papply (p, _) -> path_name t p
+  | _ -> Path.name p
+
+let collect (str : Typedtree.structure) =
+  let t = empty () in
+  let add id (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Typedtree.Tmod_ident (p, _) ->
+        (* [path_name t] here chases alias chains already recorded, so
+           [module A = Unix  module B = A] lands both on "Unix". *)
+        Hashtbl.replace t.aliases (Ident.unique_name id) (path_name t p)
+    | _ -> ()
+  in
+  let structure_item self (si : Typedtree.structure_item) =
+    (match si.str_desc with
+    | Tstr_module { mb_id = Some id; mb_expr; _ } -> add id mb_expr
+    | _ -> ());
+    Tast_iterator.default_iterator.structure_item self si
+  in
+  let expr self (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_letmodule (Some id, _, _, me, _) -> add id me
+    | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with structure_item; expr } in
+  it.structure it str;
+  t
+
+(* Compiled paths name stdlib and dune-wrapped modules by their mangled
+   unit ("Stdlib__Hashtbl", "Mk_engine__Pool"); fold those back to the
+   source spelling so one name table serves both lint stages. *)
+let demangle part =
+  (* "Mk_engine__Pool" -> "Mk_engine.Pool"; a "__" at either end is
+     not a separator (that would leave an empty component). *)
+  let b = Buffer.create (String.length part) in
+  let n = String.length part in
+  let i = ref 0 in
+  while !i < n do
+    if !i > 0 && !i + 2 < n && part.[!i] = '_' && part.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      Buffer.add_char b (Char.uppercase_ascii part.[!i + 2]);
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char b part.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let normalize name =
+  let name =
+    String.concat "." (List.map demangle (String.split_on_char '.' name))
+  in
+  match String.split_on_char '.' name with
+  | "Stdlib" :: (_ :: _ as rest) -> String.concat "." rest
+  | _ -> name
+
+let qualified t p = normalize (path_name t p)

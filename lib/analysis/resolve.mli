@@ -1,0 +1,29 @@
+(** Alias-aware naming of typedtree [Path.t]s for the typed lint
+    stage.
+
+    The typer resolves [let open] at elaboration time, but a module
+    alias ([module U = Unix], top-level or [let module]) survives as
+    the path head.  {!collect} gathers the alias map of one structure;
+    {!qualified} then prints any path with aliases substituted and
+    compiler name mangling undone, so the result is comparable against
+    the source-spelling name tables in {!Lint}. *)
+
+type t
+
+val collect : Typedtree.structure -> t
+(** Alias map of one compilation unit ([module X = <path>] bindings at
+    any depth, including [let module]); chains resolve to their final
+    target in source order. *)
+
+val path_name : t -> Path.t -> string
+(** Dotted name of a path with aliases substituted (no mangling
+    cleanup). *)
+
+val normalize : string -> string
+(** Undo compiler name mangling: ["Stdlib__Hashtbl.iter"] and
+    ["Stdlib.Hashtbl.iter"] both become ["Hashtbl.iter"];
+    ["Mk_engine__Pool.submit"] becomes ["Mk_engine.Pool.submit"]. *)
+
+val qualified : t -> Path.t -> string
+(** [normalize (path_name t p)] — the fully-resolved source-spelling
+    name the R7/R8/R9 passes match on. *)

@@ -1,8 +1,8 @@
 type severity = Error | Warning
 
-type id = Parse | R1 | R2 | R3 | R4 | R5 | R6
+type id = Parse | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all = [ R1; R2; R3; R4; R5; R6 ]
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
 
 let id_to_string = function
   | Parse -> "parse"
@@ -12,6 +12,9 @@ let id_to_string = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
 let id_of_string s =
   match String.lowercase_ascii s with
@@ -22,6 +25,9 @@ let id_of_string s =
   | "r4" -> Some R4
   | "r5" -> Some R5
   | "r6" -> Some R6
+  | "r7" -> Some R7
+  | "r8" -> Some R8
+  | "r9" -> Some R9
   | _ -> None
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
@@ -34,6 +40,9 @@ let title = function
   | R4 -> "no top-level mutable state reachable from pool workers"
   | R5 -> "no direct stdout printing in lib/ outside the report layer"
   | R6 -> "every lib/ module declares its interface in an .mli"
+  | R7 -> "typed re-check of R1/R2/R3/R5 on alias-resolved paths"
+  | R8 -> "no mutable state captured by closures that run on worker domains"
+  | R9 -> "no mutation of a hashtable from inside its own iteration"
 
 let hazard = function
   | Parse -> "an unparseable file escapes every other rule"
@@ -55,6 +64,19 @@ let hazard = function
   | R6 ->
       "without an .mli the whole module surface is public, so internal \
        mutable state can be reached from anywhere"
+  | R7 ->
+      "a banned name reached through `let open` or a module alias is \
+       invisible to the syntactic pass; the typedtree path is fully \
+       qualified, so the same hazards are re-checked with aliases resolved"
+  | R8 ->
+      "a ref/table/buffer captured by a closure handed to Pool, Experiment \
+       or Shard is mutated concurrently by worker domains: data races and \
+       schedule-dependent results; allocate inside the task, route the \
+       state through Engine.Scratch, or guard it with a mutex"
+  | R9 ->
+      "mutating a Hashtbl while Hashtbl.iter/fold walks it has unspecified \
+       semantics (the Ltp corner-map bug): entries may be visited twice, \
+       skipped, or the walk may diverge after a resize"
 
 type violation = {
   rule : id;
@@ -73,6 +95,9 @@ let id_rank = function
   | R4 -> 4
   | R5 -> 5
   | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
 
 let compare_violation a b =
   let c = String.compare a.file b.file in

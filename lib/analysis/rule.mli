@@ -16,9 +16,14 @@ type id =
   | R4  (** top-level mutable state reachable from pool workers *)
   | R5  (** direct stdout printing outside the report layer *)
   | R6  (** [lib/] module without an [.mli] interface *)
+  | R7  (** typed re-check of R1/R2/R3/R5 on alias-resolved [Path.t]s *)
+  | R8  (** mutable state escaping into closures run on worker domains *)
+  | R9  (** hashtable mutated from inside its own [iter]/[fold] *)
 
 val all : id list
-(** The lintable rules, [R1]..[R6] (excludes [Parse]). *)
+(** The lintable rules, [R1]..[R9] (excludes [Parse]).  [R1]..[R6]
+    are syntactic (parsetree) rules; [R7]..[R9] belong to the typed
+    ([.cmt]-based) stage — see {!Typed_lint}. *)
 
 val id_to_string : id -> string
 val id_of_string : string -> id option

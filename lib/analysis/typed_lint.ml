@@ -1,0 +1,122 @@
+(* The typed (.cmt) lint stage.
+
+   Reads the typedtrees dune already produces and runs the passes the
+   parsetree cannot express: R7 (alias-resolved re-checks of the
+   R1/R2/R3/R5 name rules) here, R8/R9 (closure analyses) in
+   {!Escape}.  R7 fires only when the name as *written* differs from
+   the name as *resolved* — a direct [Unix.gettimeofday] is already
+   the syntactic stage's finding, so the two stages never report the
+   same use twice. *)
+
+let written_name (lid : Longident.t) =
+  match Longident.flatten lid with
+  | exception _ -> ""
+  | parts -> String.concat "." parts
+
+let collect_r7 ~file ~zone resolve (str : Typedtree.structure) =
+  let acc = ref [] in
+  let expr (self : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (path, lid, _) -> (
+        let written = written_name lid.txt in
+        let resolved = Resolve.qualified resolve path in
+        if written <> "" && written <> resolved then
+          match Lint.ident_violation ~file ~zone resolved lid.loc with
+          | Some v ->
+              acc :=
+                {
+                  v with
+                  rule = R7;
+                  message =
+                    Printf.sprintf "`%s` resolves to %s: %s" written resolved
+                      v.message;
+                }
+                :: !acc
+          | None -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str;
+  !acc
+
+let lint_structure ~file (str : Typedtree.structure) =
+  match Lint.classify file with
+  | None -> []
+  | Some zone ->
+      let resolve = Resolve.collect str in
+      collect_r7 ~file ~zone resolve str @ Escape.collect ~file ~zone resolve str
+
+let lint_cmt ~file path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Implementation str; _ } -> lint_structure ~file str
+  | _ -> []
+  | exception exn ->
+      [
+        {
+          Rule.rule = Parse;
+          severity = Error;
+          file;
+          line = 1;
+          col = 0;
+          message =
+            Printf.sprintf "cannot read %s for the typed stage: %s" path
+              (Printexc.to_string exn);
+        };
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Discovery under _build *)
+
+let build_root root = Filename.concat (Filename.concat root "_build") "default"
+let available ~root = Sys.file_exists (build_root root)
+
+(* Unlike the source walk, this one must descend into dot-directories:
+   dune hides cmts in <dir>/.<lib>.objs/byte/. *)
+let rec walk_cmts dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk_cmts path acc
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+
+let lint_tree ~root =
+  let dirs =
+    List.filter_map
+      (fun d ->
+        let dir = Filename.concat (build_root root) d in
+        if Sys.file_exists dir then Some dir else None)
+      Lint.default_dirs
+  in
+  let cmts = List.sort String.compare (List.concat_map (fun d -> walk_cmts d []) dirs) in
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun cmt ->
+      match Cmt_format.read_cmt cmt with
+      | exception _ -> []
+      | info -> (
+          match info.cmt_sourcefile with
+          | None -> []
+          | Some file ->
+              (* dune records the source path root-relative; generated
+                 sources (module alias files, ppx output) do not exist
+                 in the tree and are skipped. *)
+              if
+                Filename.is_relative file
+                && (not (Hashtbl.mem seen file))
+                && Sys.file_exists (Filename.concat root file)
+                && Filename.check_suffix file ".ml"
+                && Lint.classify file <> None
+              then begin
+                Hashtbl.add seen file ();
+                match info.cmt_annots with
+                | Implementation str -> lint_structure ~file str
+                | _ -> []
+              end
+              else []))
+    cmts

@@ -1,0 +1,35 @@
+(** The typed (.cmt) lint stage: R7, and the driver for {!Escape}'s
+    R8/R9.
+
+    Where the syntactic stage ({!Lint}) matches written names, this
+    stage reads the typedtrees dune already produces under
+    [_build/default] and matches fully-resolved [Path.t]s, so
+    [let open Unix in gettimeofday ()] and [module U = Unix …
+    U.gettimeofday] are seen.  R7 fires only when the written name
+    differs from the resolved one — direct uses stay the syntactic
+    stage's findings, so merging the stages never duplicates a
+    report.
+
+    Violations returned here carry no suppression/baseline status;
+    feed them to {!Lint.merge_typed}. *)
+
+val available : root:string -> bool
+(** Whether [_build/default] exists — i.e. whether [dune build] has
+    produced cmts to read.  The CLI refuses [--typed]/[--ci] without
+    it rather than silently passing. *)
+
+val lint_structure : file:string -> Typedtree.structure -> Rule.violation list
+(** R7/R8/R9 findings of one typedtree.  [file] is the root-relative
+    source path (decides zone and exemptions); files outside every
+    zone yield []. *)
+
+val lint_cmt : file:string -> string -> Rule.violation list
+(** Read one [.cmt] (second argument: its path) and lint its
+    implementation typedtree.  An unreadable cmt yields a [Parse]
+    error finding rather than silence. *)
+
+val lint_tree : root:string -> Rule.violation list
+(** Discover every cmt under [_build/default/<default_dirs>]
+    (descending into dune's dot-directories), map each back to its
+    source file, and lint those that exist in the tree — one
+    compilation unit at most once, in sorted cmt order. *)

@@ -206,9 +206,12 @@ let sharded_allreduce_loop ?pool ?(fast_forward = true) ~shards ~nodes
   let init sh =
     List.iter
       (fun n ->
-        value.(n) <- 0;
-        bcast.(n) <- false;
-        await.(n) <- fan_in.(n) + 1;
+        (* mklint: allow R8 — the per-node arrays are partitioned, not
+           shared: node [n] belongs to exactly one shard (members /
+           shard_of), so each cell is only ever written by the domain
+           running that shard, and the epoch barrier in Shard.run
+           orders the cross-iteration handoff of [exits]. *)
+        value.(n) <- 0; bcast.(n) <- false; await.(n) <- fan_in.(n) + 1;
         let skew =
           Mk_noise.Injector.max_delay profile rngs.(n) ~dur:window
             ~ranks:stragglers

@@ -1,5 +1,11 @@
 (* mklint — determinism & domain-safety lint for the simulator tree.
-   See docs/STATIC_ANALYSIS.md for the rule catalogue and workflow. *)
+   See docs/STATIC_ANALYSIS.md for the rule catalogue and workflow.
+
+   Two stages share one report: the syntactic parsetree pass (R1–R6,
+   always on) and the typed .cmt pass (R7–R9, on whenever
+   _build/default exists — i.e. after any dune build).  --ci and
+   --typed refuse to pass without the typed stage rather than
+   silently narrowing the gate. *)
 
 let default_baseline = ".mklint-baseline"
 
@@ -12,35 +18,66 @@ let list_rules () =
               (Mk_lint.Rule.title r) (Mk_lint.Rule.hazard r))
           Mk_lint.Rule.all))
 
-let run root files baseline_path update_baseline ci json rules =
+let run root files baseline_path update_baseline ci json sarif rules typed
+    syntactic_only =
   if rules then (list_rules (); 0)
   else
     match Mk_lint.Baseline.load (Filename.concat root baseline_path) with
     | Error e ->
         prerr_endline ("mklint: " ^ e);
         2
-    | Ok baseline ->
+    | Ok baseline -> (
         let report =
           match files with
           | [] -> Mk_lint.Lint.lint_tree ~root ~baseline ()
           | files -> Mk_lint.Lint.lint_files ~root ~baseline files
         in
-        if update_baseline then begin
-          let entries = Mk_lint.Lint.errors report in
-          Out_channel.with_open_bin (Filename.concat root baseline_path)
-            (fun oc ->
-              Out_channel.output_string oc (Mk_lint.Baseline.render entries));
-          Printf.eprintf "mklint: baselined %d findings into %s\n"
-            (List.length entries) baseline_path;
-          0
+        let typed_available = Mk_lint.Typed_lint.available ~root in
+        let typed_wanted = not syntactic_only in
+        let typed_required = typed || ci in
+        if typed_required && syntactic_only then begin
+          prerr_endline
+            "mklint: --syntactic-only conflicts with --typed/--ci (the gate \
+             must run both stages)";
+          2
         end
-        else begin
-          if json then
-            print_endline
-              (Mk_engine.Json.to_string_pretty (Mk_lint.Lint.to_json report))
-          else print_string (Mk_lint.Lint.render report);
-          if ci && Mk_lint.Lint.errors report <> [] then 1 else 0
+        else if typed_required && not typed_available then begin
+          prerr_endline
+            "mklint: typed stage needs _build/default — run 'dune build' \
+             first (or pass --syntactic-only without --ci)";
+          2
         end
+        else
+          let report =
+            if typed_wanted && typed_available then
+              Mk_lint.Lint.merge_typed report ~baseline
+                (Mk_lint.Typed_lint.lint_tree ~root)
+            else report
+          in
+          if update_baseline then begin
+            let entries =
+              List.map
+                (fun (v : Mk_lint.Rule.violation) ->
+                  (v, Mk_lint.Lint.source_line ~root ~file:v.file v.line))
+                (Mk_lint.Lint.errors report)
+            in
+            Out_channel.with_open_bin (Filename.concat root baseline_path)
+              (fun oc ->
+                Out_channel.output_string oc (Mk_lint.Baseline.render entries));
+            Printf.eprintf "mklint: baselined %d findings into %s\n"
+              (List.length entries) baseline_path;
+            0
+          end
+          else begin
+            if sarif then
+              print_endline
+                (Mk_engine.Json.to_string_pretty (Mk_lint.Lint.to_sarif report))
+            else if json then
+              print_endline
+                (Mk_engine.Json.to_string_pretty (Mk_lint.Lint.to_json report))
+            else print_string (Mk_lint.Lint.render report);
+            if ci && Mk_lint.Lint.errors report <> [] then 1 else 0
+          end)
 
 open Cmdliner
 
@@ -58,7 +95,8 @@ let files =
     & info [] ~docv:"FILE"
         ~doc:
           "Root-relative .ml/.mli files to lint; with none given the whole \
-           tree (bench/ bin/ lib/ tools/) is scanned.")
+           tree (bench/ bin/ lib/ test/ tools/) is scanned.  The typed stage \
+           is filtered to the same files.")
 
 let baseline =
   Arg.(
@@ -70,30 +108,60 @@ let update_baseline =
   Arg.(
     value & flag
     & info [ "update-baseline" ]
-        ~doc:"Rewrite the baseline to tolerate every current active error.")
+        ~doc:
+          "Rewrite the baseline to tolerate every current active error, \
+           keyed by content hash of the flagged line (migrates legacy \
+           line-number entries).")
 
 let ci =
   Arg.(
     value & flag
     & info [ "ci" ]
         ~doc:
-          "Gate mode: exit 1 when any error-severity finding is neither \
-           suppressed inline nor baselined.")
+          "Gate mode: run both stages and exit 1 when any error-severity \
+           finding is neither suppressed inline nor baselined; exit 2 when \
+           the typed stage cannot run.")
 
 let json =
   Arg.(
     value & flag
     & info [ "json" ] ~doc:"Emit the machine-readable mklint/1 JSON report.")
 
+let sarif =
+  Arg.(
+    value & flag
+    & info [ "sarif" ]
+        ~doc:
+          "Emit the report as SARIF 2.1.0 (for diff-annotation tooling); \
+           overrides --json.")
+
 let rules =
   Arg.(
     value & flag & info [ "rules" ] ~doc:"List the rule catalogue and exit.")
+
+let typed =
+  Arg.(
+    value & flag
+    & info [ "typed" ]
+        ~doc:
+          "Require the typed (.cmt) stage: exit 2 if _build/default is \
+           missing.  Without this flag the typed stage still runs whenever \
+           cmts are present.")
+
+let syntactic_only =
+  Arg.(
+    value & flag
+    & info [ "syntactic-only" ]
+        ~doc:
+          "Skip the typed stage even when cmts are present (fast pre-commit \
+           loop).  Incompatible with --ci/--typed.")
 
 let cmd =
   let doc = "determinism & domain-safety static analysis for the simulator" in
   Cmd.v
     (Cmd.info "mklint" ~doc)
     Term.(
-      const run $ root $ files $ baseline $ update_baseline $ ci $ json $ rules)
+      const run $ root $ files $ baseline $ update_baseline $ ci $ json $ sarif
+      $ rules $ typed $ syntactic_only)
 
 let () = exit (Cmd.eval' cmd)
