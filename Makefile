@@ -1,5 +1,5 @@
 # Convenience aliases around dune; ci.sh remains the authoritative gate.
-.PHONY: build test lint lint-json lint-sarif dscheck doc ci trace-smoke chaos-smoke scale-smoke scale
+.PHONY: build test lint lint-json lint-sarif dscheck doc ci trace-smoke chaos-smoke scale-smoke scale history diff
 
 build:
 	dune build
@@ -59,6 +59,16 @@ scale-smoke:
 # bench/results/latest-scale.json and BENCH_scale.json.
 scale:
 	dune exec bench/main.exe -- scale
+
+# The tagged bench trajectory (perf/scale, smoke included) and the
+# regression diff against the previous run — see
+# docs/OBSERVABILITY.md §3.
+history:
+	dune exec bench/main.exe -- history
+
+diff:
+	dune exec bench/main.exe -- diff-selftest
+	dune exec bench/main.exe -- diff --against latest --smoke
 
 ci:
 	./ci.sh

@@ -751,6 +751,393 @@ let results_dir = Filename.concat "bench" "results"
    never a torn latest.json. *)
 let write_file path contents = Engine.Atomic_file.write path contents
 
+(* ------------------------------------------------------------------ *)
+(* HISTORY: tagged perf trajectory + regression diff                  *)
+
+(* Every perf/scale run — smoke included — appends to a tagged
+   history under bench/results/: [<target>-<tag>.json] is the
+   immutable snapshot, [<target>-latest.json] the moving head, and
+   [<target>-prev.json] the head it displaced, so
+   [diff --against latest] always has the run before this one to
+   compare with.  Wall clock is fine here: tags are provenance, never
+   simulation input (the determinism contract lives in lib/). *)
+let history_targets = [ "perf"; "perf-smoke"; "scale"; "scale-smoke" ]
+
+(* Tags that can never name a snapshot: "latest"/"prev" are the moving
+   heads above, "smoke" would collide with the legacy
+   [perf-smoke.json]/[scale-smoke.json] gate files. *)
+let reserved_tags = [ "latest"; "prev"; "smoke" ]
+
+let default_tag () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let record_history ~target ~tag doc =
+  if List.mem tag reserved_tags || String.contains tag '/' then begin
+    Printf.eprintf "history: %S is a reserved tag (reserved: %s)\n" tag
+      (String.concat " " reserved_tags);
+    exit 1
+  end;
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755;
+  let path name = Filename.concat results_dir (target ^ "-" ^ name ^ ".json") in
+  let latest = path "latest" in
+  (* Preserve the displaced head first: a crash between the two writes
+     still leaves a consistent (prev, latest) pair on disk. *)
+  if Sys.file_exists latest then
+    write_file (path "prev") (Engine.Atomic_file.read latest);
+  List.iter
+    (fun p ->
+      write_file p doc;
+      Printf.printf "wrote %s\n" p)
+    [ path tag; latest ]
+
+(* A file belongs to the longest matching target prefix, so listing
+   the [perf] history never swallows [perf-smoke-*] snapshots. *)
+let history_owner file =
+  List.fold_left
+    (fun acc t ->
+      if
+        String.starts_with ~prefix:(t ^ "-") file
+        && match acc with None -> true | Some a -> String.length t > String.length a
+      then Some t
+      else acc)
+    None history_targets
+
+let history_entries target =
+  if not (Sys.file_exists results_dir) then []
+  else
+    Sys.readdir results_dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if
+             Filename.check_suffix f ".json" && history_owner f = Some target
+           then
+             let prefix_len = String.length target + 1 in
+             let tag =
+               String.sub f prefix_len (String.length f - prefix_len - 5)
+             in
+             if List.mem tag reserved_tags then None else Some tag
+           else None)
+    |> List.sort compare
+
+(* Flatten a document to dotted-path numeric leaves; list elements get
+   positional [i] indices so matching paths compare one-to-one. *)
+let rec num_leaves prefix j acc =
+  match j with
+  | Engine.Json.Int i -> (prefix, float_of_int i) :: acc
+  | Engine.Json.Float f -> (prefix, f) :: acc
+  | Engine.Json.Bool _ | Engine.Json.String _ | Engine.Json.Null -> acc
+  | Engine.Json.Obj fs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          num_leaves (if prefix = "" then k else prefix ^ "." ^ k) v acc)
+        acc fs
+  | Engine.Json.List xs ->
+      snd
+        (List.fold_left
+           (fun (i, acc) v ->
+             (i + 1, num_leaves (Printf.sprintf "%s[%d]" prefix i) v acc))
+           (0, acc) xs)
+
+let flatten_doc j = List.rev (num_leaves "" j [])
+
+(* Which way is worse?  Classified from the leaf name: throughputs,
+   speedups and utilizations must not fall; overheads and percentage
+   costs must not climb.  Raw wall-clock [_seconds]/[_ns] figures are
+   report-only — they move with machine load, and gating on them makes
+   CI flake on a busy box.  Counts, seeds and simulated figures
+   (events, completion times, FOMs) are model output, legitimately
+   changed by model PRs, so they are never gated either. *)
+type direction = Higher_better | Lower_better | Report_only
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let leaf_name path =
+  let last =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  match String.index_opt last '[' with
+  | Some i -> String.sub last 0 i
+  | None -> last
+
+let diff_direction path =
+  let n = leaf_name path in
+  if
+    contains_sub ~sub:"speedup" n
+    || contains_sub ~sub:"improvement" n
+    || Filename.check_suffix n "_per_sec"
+    || n = "horizon_utilization"
+  then Higher_better
+  else if Filename.check_suffix n "_pct" || contains_sub ~sub:"overhead" n then
+    Lower_better
+  else Report_only
+
+type delta = {
+  d_path : string;
+  d_old : float;
+  d_new : float;
+  d_rel : float option;  (** percent change; [None] when old is ~0 *)
+  d_dir : direction;
+  d_regression : bool;
+}
+
+(* Pair up numeric leaves by path and flag gated metrics whose change
+   crosses [threshold] percent in the bad direction.  Metrics present
+   in only one document are structure changes, not regressions — the
+   caller reports their count. *)
+let compare_docs ~threshold a b =
+  let la = flatten_doc a and lb = flatten_doc b in
+  let deltas =
+    List.filter_map
+      (fun (path, nv) ->
+        match List.assoc_opt path la with
+        | None -> None
+        | Some ov ->
+            let rel =
+              if Float.abs ov > 1e-9 then
+                Some ((nv -. ov) /. Float.abs ov *. 100.)
+              else None
+            in
+            let dir =
+              match diff_direction path with
+              | (Higher_better | Lower_better)
+                when Filename.check_suffix (leaf_name path) "_pct"
+                     && Float.abs ov < 1.0 ->
+                  (* A percentage metric with a sub-point baseline sits
+                     at the measurement's noise floor (e.g. a disabled
+                     overhead hovering around 0 +/- 1): its *relative*
+                     delta explodes on harmless jitter.  The absolute
+                     bars (perf --smoke's <= 2% gate) own that regime;
+                     the trend diff only gates once the baseline is at
+                     least one point. *)
+                  Report_only
+              | d -> d
+            in
+            let regression =
+              match (rel, dir) with
+              | Some r, Higher_better -> r < -.threshold
+              | Some r, Lower_better -> r > threshold
+              | _ -> false
+            in
+            Some
+              {
+                d_path = path;
+                d_old = ov;
+                d_new = nv;
+                d_rel = rel;
+                d_dir = dir;
+                d_regression = regression;
+              })
+      lb
+  in
+  let known l = List.filter (fun (p, _) -> List.mem_assoc p l) in
+  let missing = List.length la - List.length (known lb la) in
+  let added = List.length lb - List.length (known la lb) in
+  (deltas, missing, added)
+
+let print_diff ~threshold ~label_a ~label_b (deltas, missing, added) =
+  Printf.printf "bench diff: %s -> %s (threshold %g%%)\n" label_a label_b
+    threshold;
+  let changed = List.filter (fun d -> d.d_old <> d.d_new) deltas in
+  let show d =
+    let rel =
+      match d.d_rel with
+      | Some r -> Printf.sprintf "%+.1f%%" r
+      | None -> "(from ~0)"
+    in
+    let mark =
+      if d.d_regression then "  REGRESSION"
+      else
+        match d.d_dir with
+        | Higher_better | Lower_better -> ""
+        | Report_only -> "  (report-only)"
+    in
+    Printf.printf "  %-44s %14.6g -> %-14.6g %10s%s\n" d.d_path d.d_old
+      d.d_new rel mark
+  in
+  List.iter show changed;
+  let regressions = List.filter (fun d -> d.d_regression) deltas in
+  Printf.printf
+    "%d metric(s) compared, %d changed, %d regression(s)%s%s\n"
+    (List.length deltas) (List.length changed) (List.length regressions)
+    (if missing > 0 then Printf.sprintf ", %d dropped" missing else "")
+    (if added > 0 then Printf.sprintf ", %d new" added else "");
+  List.length regressions
+
+(* A diff operand resolves in order: literal path, a file under
+   bench/results/, a bare snapshot name, or a history target whose
+   [-latest] head is meant. *)
+let resolve_snapshot r =
+  let candidates =
+    [
+      r;
+      Filename.concat results_dir r;
+      Filename.concat results_dir (r ^ ".json");
+      Filename.concat results_dir (r ^ "-latest.json");
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "diff: cannot resolve %S (tried: %s)\n" r
+        (String.concat ", " candidates);
+      exit 1
+
+let read_snapshot path =
+  match Engine.Atomic_file.read_json path with
+  | j -> j
+  | exception Engine.Atomic_file.Corrupt { path; reason } ->
+      Printf.eprintf "diff: %s is corrupt: %s\n" path reason;
+      exit 1
+
+let diff_files ~threshold pa pb =
+  print_diff ~threshold ~label_a:pa ~label_b:pb
+    (compare_docs ~threshold (read_snapshot pa) (read_snapshot pb))
+
+let diff_against_latest ~smoke ~threshold =
+  let targets =
+    if smoke then [ "perf-smoke"; "scale-smoke" ] else [ "perf"; "scale" ]
+  in
+  let regressions =
+    List.fold_left
+      (fun acc t ->
+        let prev = Filename.concat results_dir (t ^ "-prev.json") in
+        let latest = Filename.concat results_dir (t ^ "-latest.json") in
+        if Sys.file_exists prev && Sys.file_exists latest then
+          acc + diff_files ~threshold prev latest
+        else begin
+          (* Fresh checkout or first run: one snapshot is no trajectory
+             yet, and a gate that fails on it would block every clean
+             clone — skip loudly instead. *)
+          Printf.printf "%s: no history to diff yet (need two runs)\n" t;
+          acc
+        end)
+      0 targets
+  in
+  if regressions > 0 then exit 1
+
+let history ?target () =
+  let show t =
+    match history_entries t with
+    | [] -> Printf.printf "%-12s (no tagged snapshots)\n" t
+    | entries ->
+        List.iter
+          (fun tag ->
+            let path = Filename.concat results_dir (t ^ "-" ^ tag ^ ".json") in
+            let summary =
+              match Engine.Atomic_file.read_json path with
+              | exception Engine.Atomic_file.Corrupt { reason; _ } ->
+                  "corrupt: " ^ reason
+              | j ->
+                  let leaves = flatten_doc j in
+                  let prefer =
+                    [ "events_per_sec"; "speedup_j2"; "null_overhead_pct";
+                      "suite_seconds"; "speedup" ]
+                  in
+                  let picks =
+                    List.filter_map
+                      (fun n ->
+                        List.find_opt (fun (p, _) -> leaf_name p = n) leaves
+                        |> Option.map (fun (_, v) ->
+                               Printf.sprintf "%s=%.4g" n v))
+                      prefer
+                  in
+                  Printf.sprintf "%d metrics%s" (List.length leaves)
+                    (match picks with
+                    | [] -> ""
+                    | _ -> "  " ^ String.concat " " picks)
+            in
+            Printf.printf "%-12s %-18s %s\n" t tag summary)
+          entries
+  in
+  match target with
+  | Some t when not (List.mem t history_targets) ->
+      Printf.eprintf "history: unknown target %s (targets: %s)\n" t
+        (String.concat " " history_targets);
+      exit 1
+  | Some t -> show t
+  | None -> List.iter show history_targets
+
+(* The regression detector tested against itself: a synthetic baseline
+   vs (a) the identical document — zero regressions, exit 0 semantics —
+   and (b) a deliberately degraded copy, where exactly the gated
+   metrics must fire and the report-only ones must not.  This is the
+   CI evidence that [diff --against latest] can actually catch a
+   regression, independent of whether the real trajectory has one. *)
+let diff_selftest () =
+  section "DIFF-SELFTEST — regression detector vs synthetic snapshots";
+  let doc ~eps ~j2 ~null ~secs ~events ~fom =
+    Engine.Json.Obj
+      [
+        ("schema", Engine.Json.String "multikernel-perf/1");
+        ("events_per_sec", Engine.Json.Float eps);
+        ( "suite",
+          Engine.Json.Obj
+            [
+              ("speedup_j2", Engine.Json.Float j2);
+              ("suite_seconds", Engine.Json.Float secs);
+            ] );
+        ("obs", Engine.Json.Obj [ ("null_overhead_pct", Engine.Json.Float null) ]);
+        ( "des",
+          Engine.Json.Obj
+            [ ("events", Engine.Json.Int events); ("fom", Engine.Json.Float fom) ]
+        );
+      ]
+  in
+  let base = doc ~eps:2.0e6 ~j2:1.5 ~null:1.0 ~secs:2.0 ~events:123_456 ~fom:5.0 in
+  (* Degraded in every dimension; only the gated ones may fire. *)
+  let bad = doc ~eps:0.9e6 ~j2:1.0 ~null:3.0 ~secs:9.0 ~events:654_321 ~fom:1.0 in
+  let expect name cond =
+    if cond then Printf.printf "  ok: %s\n" name
+    else begin
+      Printf.eprintf "  FAIL: %s\n" name;
+      exit 1
+    end
+  in
+  let regressions docs_a docs_b threshold =
+    let deltas, _, _ = compare_docs ~threshold docs_a docs_b in
+    List.filter (fun d -> d.d_regression) deltas
+    |> List.map (fun d -> d.d_path)
+    |> List.sort compare
+  in
+  expect "identical documents show zero regressions"
+    (regressions base base 25.0 = []);
+  expect "seeded regressions fire on exactly the gated metrics"
+    (regressions base bad 25.0
+    = [ "events_per_sec"; "obs.null_overhead_pct"; "suite.speedup_j2" ]);
+  expect "wall-clock and model-output leaves never gate"
+    (List.for_all
+       (fun p ->
+         not
+           (List.mem p
+              [ "suite.suite_seconds"; "des.events"; "des.fom" ]))
+       (regressions base bad 0.0));
+  expect "threshold is honoured"
+    (regressions base bad 1000.0 = []);
+  (* A percentage metric whose baseline sits below one point is at the
+     measurement's noise floor: a -0.1 -> 0.9 wobble is a +1000%
+     relative change but means nothing — it must never gate.  (The
+     absolute bars in perf --smoke own that regime.) *)
+  let noisy_base =
+    doc ~eps:2.0e6 ~j2:1.5 ~null:(-0.1) ~secs:2.0 ~events:123_456 ~fom:5.0
+  in
+  let noisy_now =
+    doc ~eps:2.0e6 ~j2:1.5 ~null:0.9 ~secs:2.0 ~events:123_456 ~fom:5.0
+  in
+  expect "sub-point pct baselines never gate (noise floor)"
+    (regressions noisy_base noisy_now 25.0 = []);
+  ignore
+    (print_diff ~threshold:25.0 ~label_a:"synthetic-base"
+       ~label_b:"synthetic-degraded"
+       (compare_docs ~threshold:25.0 base bad));
+  Printf.printf "diff-selftest: all expectations hold\n"
+
 let results ?tag ?jobs () =
   section "RESULTS — suite trajectory to bench/results/";
   let jobs =
@@ -886,6 +1273,7 @@ let perf ?tag ~smoke () =
   section
     (if smoke then "PERF (smoke) — hot-path gate"
      else "PERF — hot-path microbenchmarks and parallel speedup");
+  let tag = match tag with Some t -> t | None -> default_tag () in
   let timed f =
     let t0 = Unix.gettimeofday () in
     let v = f () in
@@ -1094,9 +1482,22 @@ let perf ?tag ~smoke () =
         for _ = 1 to rounds do
           obs_round ()
         done;
-        (* Same one-retry policy as the -j 2 gate above. *)
-        let _, _, _, _, null_pct, _, _ = obs_stats () in
-        if smoke && null_pct > 2.0 then obs_round ())
+        (* Retry policy, slightly stronger than the -j 2 gate's: since
+           [`Baseline] and [`Null] run identical code, best-of-N for
+           both converges on the same true time as N grows — extra
+           rounds only ever tighten the measurement.  On a loaded
+           single-core box the sample-to-sample spread can exceed the
+           2% bar, so allow up to three extra rounds, stopping as soon
+           as the gate is satisfied. *)
+        let retries = ref 0 in
+        let failing () =
+          let _, _, _, _, null_pct, _, _ = obs_stats () in
+          null_pct > 2.0
+        in
+        while smoke && failing () && !retries < 3 do
+          incr retries;
+          obs_round ()
+        done)
   in
   let obs_base, obs_null, obs_mem, obs_file, null_pct, mem_pct, file_pct =
     obs_stats ()
@@ -1125,11 +1526,10 @@ let perf ?tag ~smoke () =
   let doc =
     Engine.Json.to_string_pretty
       (Engine.Json.Obj
-         ((("schema", Engine.Json.String "multikernel-perf/1")
-           ::
-           (match tag with
-           | Some t -> [ ("tag", Engine.Json.String t) ]
-           | None -> []))
+         ([
+            ("schema", Engine.Json.String "multikernel-perf/1");
+            ("tag", Engine.Json.String tag);
+          ]
          @ [
              ("smoke", Engine.Json.Bool smoke);
              ("sim_events", Engine.Json.Int !fired);
@@ -1217,12 +1617,7 @@ let perf ?tag ~smoke () =
   if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755;
   let paths =
     if smoke then [ Filename.concat results_dir "perf-smoke.json" ]
-    else
-      Filename.concat results_dir "latest-perf.json"
-      ::
-      (match tag with
-      | Some t -> [ Filename.concat results_dir ("perf-" ^ t ^ ".json") ]
-      | None -> [])
+    else [ Filename.concat results_dir "latest-perf.json" ]
   in
   List.iter
     (fun path ->
@@ -1236,6 +1631,10 @@ let perf ?tag ~smoke () =
           exit 1);
       Printf.printf "wrote %s\n" path)
     paths;
+  (* Tagged history before the gates: a run that fails its own bar
+     still lands in the trajectory, which is exactly when the record
+     is most interesting. *)
+  record_history ~target:(if smoke then "perf-smoke" else "perf") ~tag doc;
   if smoke && Domain.recommended_domain_count () >= 2 && j2_s > seq_s then begin
     Printf.eprintf
       "perf --smoke: -j 2 (%.2fs) slower than sequential (%.2fs) — the\n\
@@ -1299,6 +1698,7 @@ let scale ?tag ~smoke () =
   section
     (if smoke then "SCALE (smoke) — sharded-DES gate"
      else "SCALE — weak scaling to 131,072 nodes");
+  let tag = match tag with Some t -> t | None -> default_tag () in
   let timed f =
     let t0 = Unix.gettimeofday () in
     let v = f () in
@@ -1453,11 +1853,10 @@ let scale ?tag ~smoke () =
   let doc =
     Engine.Json.to_string_pretty
       (Engine.Json.Obj
-         ((("schema", Engine.Json.String "multikernel-scale/1")
-           ::
-           (match tag with
-           | Some t -> [ ("tag", Engine.Json.String t) ]
-           | None -> []))
+         ([
+            ("schema", Engine.Json.String "multikernel-scale/1");
+            ("tag", Engine.Json.String tag);
+          ]
          @ [
              ("smoke", Engine.Json.Bool smoke);
              ("shards", Engine.Json.Int shards);
@@ -1469,7 +1868,12 @@ let scale ?tag ~smoke () =
   in
   if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755;
   let paths =
-    if smoke then [ Filename.concat results_dir "scale-smoke.json" ]
+    (* BENCH_scale.json — the repo-root trajectory headline — is
+       refreshed by every run, smoke included, so a CI pass always
+       leaves a non-empty bench record behind (the "smoke" field in
+       the document says which kind of run produced it). *)
+    if smoke then
+      [ Filename.concat results_dir "scale-smoke.json"; "BENCH_scale.json" ]
     else [ Filename.concat results_dir "latest-scale.json"; "BENCH_scale.json" ]
   in
   List.iter
@@ -1477,6 +1881,7 @@ let scale ?tag ~smoke () =
       write_file path doc;
       Printf.printf "wrote %s\n" path)
     paths;
+  record_history ~target:(if smoke then "scale-smoke" else "scale") ~tag doc;
   if not !identical then begin
     Printf.eprintf
       "scale: sharded DES diverged from the serial heap — the conservative \
@@ -1568,15 +1973,69 @@ let () =
           exit 1)
   | [ _; "check-results" ] -> check_results ()
   | [ _; "check-json"; path ] -> check_json path
+  | _ :: "history" :: rest -> (
+      match rest with
+      | [] -> history ()
+      | [ t ] -> history ~target:t ()
+      | _ ->
+          Printf.eprintf "usage: main.exe history [target]\n";
+          exit 1)
+  | [ _; "diff-selftest" ] -> diff_selftest ()
+  | _ :: "diff" :: rest ->
+      let threshold = ref 50.0 in
+      let smoke = ref false in
+      let against = ref false in
+      let refs = ref [] in
+      let usage () =
+        Printf.eprintf
+          "usage: main.exe diff A B [--threshold PCT]\n\
+          \       main.exe diff --against latest [--smoke] [--threshold PCT]\n";
+        exit 1
+      in
+      let rec parse = function
+        | [] -> ()
+        | "--threshold" :: v :: rest -> (
+            match float_of_string_opt v with
+            | Some f when f >= 0.0 ->
+                threshold := f;
+                parse rest
+            | _ ->
+                Printf.eprintf "diff: --threshold wants a percentage, got %s\n"
+                  v;
+                exit 1)
+        | "--smoke" :: rest ->
+            smoke := true;
+            parse rest
+        | "--against" :: "latest" :: rest ->
+            against := true;
+            parse rest
+        | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+            refs := arg :: !refs;
+            parse rest
+        | _ -> usage ()
+      in
+      parse rest;
+      (match (!against, List.rev !refs) with
+      | true, [] -> diff_against_latest ~smoke:!smoke ~threshold:!threshold
+      | false, [ a; b ] ->
+          if
+            diff_files ~threshold:!threshold (resolve_snapshot a)
+              (resolve_snapshot b)
+            > 0
+          then exit 1
+      | _ -> usage ())
   | [ _; name ] -> (
       match List.assoc_opt name targets with
       | Some f -> f ()
       | None ->
           Printf.eprintf
-            "unknown target %s; available: %s results perf scale check-json\n"
+            "unknown target %s; available: %s results perf scale history diff \
+             diff-selftest check-json\n"
             name
             (String.concat " " (List.map fst targets));
           exit 1)
   | _ ->
-      Printf.eprintf "usage: main.exe [target | results [tag] [jobs]]\n";
+      Printf.eprintf
+        "usage: main.exe [target | results [tag] [jobs] | perf [--smoke|tag] \
+         | scale [--smoke|tag] | history [target] | diff ...]\n";
       exit 1

@@ -198,7 +198,11 @@ let with_journal (path, replay) cells regroup =
   let s =
     Fun.protect
       ~finally:(fun () -> Engine.Journal.close j)
-      (fun () -> Cluster.Experiment.supervised_points ~journal:j cells)
+      (fun () ->
+        (* Journaled runs fly with the black box armed: a quarantined
+           cell leaves flight-<cell_key>.json next to the journal. *)
+        Cluster.Experiment.supervised_points ~journal:j
+          ~flight_dir:(Filename.dirname path) cells)
   in
   prerr_endline (Cluster.Report.supervision_summary s);
   (regroup s, s.Cluster.Experiment.quarantined)
@@ -588,6 +592,105 @@ let trace_cmd =
        $ jobs_arg $ trace_out_arg $ metrics_arg))
 
 (* ------------------------------------------------------------------ *)
+(* simos profile                                                       *)
+
+let profile_nodes_arg =
+  let doc = "Number of compute nodes in the instrumented DES workload." in
+  Arg.(value & opt int 1024 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let profile_shards_arg =
+  let doc = "Shard count for the instrumented run (0 = one per core)." in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"S" ~doc)
+
+let bucket_us_arg =
+  let doc = "Timeline bucket width, in simulated microseconds." in
+  Arg.(value & opt int 1000 & info [ "bucket-us" ] ~docv:"US" ~doc)
+
+let top_arg =
+  let doc = "Rows in the hot-scenario attribution table." in
+  Arg.(value & opt int 3 & info [ "top" ] ~docv:"K" ~doc)
+
+let profile_out_arg =
+  let doc =
+    "Also write the profile document (JSON) to $(docv).  Byte-identical for \
+     every --jobs value."
+  in
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"PATH" ~doc)
+
+let sched_arg =
+  let doc =
+    "Also print the live scheduler counters (steals, injector depth).  \
+     Nondeterministic host-machine numbers — never part of the -o document."
+  in
+  Arg.(value & flag & info [ "sched" ] ~doc)
+
+let profile_cmd =
+  let action nodes shards seed jobs bucket_us k out sched =
+    let* nodes = Cluster.Validate.nodes nodes in
+    let* shards =
+      match Cluster.Validate.des_shards shards with
+      | Ok 0 -> Ok (Domain.recommended_domain_count ())
+      | r -> r
+    in
+    let* jobs = Cluster.Validate.jobs jobs in
+    let* bucket_us =
+      if bucket_us > 0 then Ok bucket_us
+      else Error "--bucket-us must be positive"
+    in
+    let* k = if k > 0 then Ok k else Error "--top must be positive" in
+    let domains = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+    let pool = Engine.Pool.create ~num_domains:domains () in
+    Fun.protect
+      ~finally:(fun () -> Engine.Pool.shutdown pool)
+      (fun () ->
+        let rows =
+          Cluster.Experiment.des_profiles ~pool
+            ~bucket_ns:(bucket_us * Engine.Units.us) ~nodes ~shards ~seed ()
+        in
+        List.iter
+          (fun (label, p) ->
+            print_string (Cluster.Report.profile_timeline ~label p);
+            print_newline ())
+          rows;
+        let tot = List.map (fun (l, p) -> (l, Obs.Profile.totals p)) rows in
+        print_string
+          (Cluster.Report.profile_hot ~shards (Obs.Profile.top ~k tot));
+        Option.iter
+          (fun path ->
+            Engine.Atomic_file.write path
+              (Engine.Json.to_string_pretty
+                 (Cluster.Report.profile_json ~nodes ~shards ~seed rows)
+              ^ "\n");
+            Printf.printf "profile: %s\n" path)
+          out;
+        if sched then begin
+          (* Live pool counters: host-machine races, printed only on
+             request and kept out of the deterministic document. *)
+          Printf.printf
+            "\nscheduler (live, nondeterministic — excluded from -o):\n";
+          Printf.printf "injector depth: %d\n"
+            (Engine.Pool.injector_depth pool);
+          print_endline
+            (Engine.Json.to_string_pretty
+               (Obs.Pool_stats.to_json (Engine.Pool.stats pool)))
+        end;
+        `Ok ())
+  in
+  let doc =
+    "Profile the engine itself: run the sharded event-driven workload under \
+     all three kernels with every conservative epoch sampled — per-bucket \
+     event/null/stall timelines, horizon utilization, and hot-scenario \
+     attribution.  The profile folds only protocol-determined shard samples, \
+     so tables and -o output are byte-identical for every --jobs value; \
+     --sched adds the live (nondeterministic) scheduler view."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      ret
+        (const action $ profile_nodes_arg $ profile_shards_arg $ seed_arg
+       $ jobs_arg $ bucket_us_arg $ top_arg $ profile_out_arg $ sched_arg))
+
+(* ------------------------------------------------------------------ *)
 (* simos chaos                                                         *)
 
 let chaos_cmd =
@@ -620,5 +723,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; sweep_cmd; suite_cmd; faults_cmd; trace_cmd; ltp_cmd;
-            node_cmd; apps_cmd; calibration_cmd; chaos_cmd;
+            node_cmd; apps_cmd; calibration_cmd; profile_cmd; chaos_cmd;
           ]))

@@ -80,8 +80,21 @@ dune exec bench/main.exe -- perf --smoke
 # byte (the conservative-protocol invariant), and on >= 4 cores the
 # closed-form fast-forward must clear a 1.25x speedup over serial
 # replay on a silent profile; on fewer cores the ratios are recorded
-# in scale-smoke.json but cannot gate.
+# in scale-smoke.json but cannot gate.  Both smoke benches above also
+# append a tagged history entry (<target>-<tag>.json + -latest/-prev
+# heads) and scale --smoke refreshes the repo-root BENCH_scale.json,
+# so the bench trajectory is non-empty after every CI run.
 dune exec bench/main.exe -- scale --smoke
+
+# Perf-history gate (docs/OBSERVABILITY.md §3): first prove the
+# regression detector itself fires on a seeded synthetic regression
+# and stays quiet on identical documents, then diff the smoke
+# trajectory this run just extended — gated ratio metrics (speedups,
+# throughputs, overhead percentages) must not cross the threshold in
+# the bad direction; wall-clock leaves are report-only.  The first run
+# after a fresh clone has no -prev head and passes with a notice.
+dune exec bench/main.exe -- diff-selftest >/dev/null
+dune exec bench/main.exe -- diff --against latest --smoke
 
 # Observability gate (docs/OBSERVABILITY.md): the same traced
 # 4-node comparison run sequentially and under -j 2 must export

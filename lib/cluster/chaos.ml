@@ -36,6 +36,18 @@ let with_temp_file prefix suffix f =
         (try Sys.readdir dir with Sys_error _ -> [||]))
     (fun () -> f path)
 
+let with_temp_dir prefix f =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      try Sys.rmdir path with Sys_error _ -> ())
+    (fun () -> f path)
+
 (* 1. Injected failures: one transient cell (fails twice, then
    succeeds), one permanently failing cell.  The permanent cell must
    be quarantined, every other cell must complete with numbers equal
@@ -206,6 +218,79 @@ let journal_roundtrip () =
        record-only mode replays nothing: %b"
       loaded torn (k1 = Some (v 3)) (norecall = None) )
 
+(* 5. Flight recorder: kill one cell and require its black box on
+   disk — parseable, attributing exactly the killed cell (key and
+   label), carrying a non-empty Perfetto trace — and nothing dumped
+   for the cells that survived. *)
+let flight_recorder ~rng ~counts ~runs ~seed =
+  let cells =
+    Experiment.compare_cells ~scenarios:Scenario.trio ~app:(app ())
+      ~node_counts:counts ~runs ~seed ()
+  in
+  let n = List.length cells in
+  let victim = Mk_engine.Rng.int rng n in
+  let chaos ~cell ~attempt:_ =
+    if cell = victim then failwith "chaos: killed for the flight recorder"
+  in
+  with_temp_dir "mkflight" @@ fun dir ->
+  let s = Experiment.supervised_points ~chaos ~flight_dir:dir cells in
+  let victim_cell = List.nth cells victim in
+  let key = Experiment.cell_key victim_cell in
+  let path = Experiment.flight_path ~dir ~key in
+  let dumps =
+    Array.fold_left
+      (fun acc e ->
+        if String.length e >= 7 && String.sub e 0 7 = "flight-" then acc + 1
+        else acc)
+      0
+      (Sys.readdir dir)
+  in
+  let parsed =
+    if Sys.file_exists path then
+      try Some (Mk_engine.Atomic_file.read_json path)
+      with Mk_engine.Atomic_file.Corrupt _ -> None
+    else None
+  in
+  let field name = function
+    | Mk_engine.Json.Obj fs -> List.assoc_opt name fs
+    | _ -> None
+  in
+  let ok_schema, ok_key, ok_label, ok_reason, recorded, trace_events =
+    match parsed with
+    | None -> (false, false, false, false, 0, 0)
+    | Some doc ->
+        let str name =
+          match field name doc with
+          | Some (Mk_engine.Json.String s) -> Some s
+          | _ -> None
+        in
+        ( str "schema" = Some "multikernel-flight/1",
+          str "cell_key" = Some key,
+          str "label" = Some (Experiment.cell_label victim_cell),
+          Option.is_some (str "reason"),
+          (match field "recorded" doc with
+          | Some (Mk_engine.Json.Int i) -> i
+          | _ -> 0),
+          match field "trace" doc with
+          | Some (Mk_engine.Json.Obj tf) -> (
+              match List.assoc_opt "traceEvents" tf with
+              | Some (Mk_engine.Json.List l) -> List.length l
+              | _ -> 0)
+          | _ -> 0 )
+  in
+  let ok =
+    s.Experiment.quarantined = 1
+    && dumps = 1 && ok_schema && ok_key && ok_label && ok_reason
+    && recorded > 0 && trace_events > 0
+  in
+  ( ok,
+    Printf.sprintf
+      "cell #%d/%d killed; %d dump(s); parsed: %b; attributes killed cell \
+       (key: %b, label: %b, reason: %b); %d event(s) recorded, %d trace \
+       event(s) exported"
+      victim n dumps (parsed <> None) ok_key ok_label ok_reason recorded
+      trace_events )
+
 let run ?(seed = 42) ~smoke () =
   let counts = if smoke then [ 2; 4 ] else [ 2; 4; 8 ] in
   let runs = 2 in
@@ -217,5 +302,6 @@ let run ?(seed = 42) ~smoke () =
         check "kill-and-resume" (kill_and_resume ~counts ~runs ~seed);
         check "atomic-mid-write-crash" (atomic_crash ());
         check "journal-round-trip" (journal_roundtrip ());
+        check "flight-recorder" (flight_recorder ~rng ~counts ~runs ~seed);
       ];
   }

@@ -15,7 +15,11 @@
     - {b atomic-mid-write-crash}: {!Mk_engine.Atomic_file.write}
       interrupted mid-stage leaves the previous complete file behind;
     - {b journal-round-trip}: append/reopen/replay, duplicate keys
-      resolve to the latest entry, record-only mode never replays.
+      resolve to the latest entry, record-only mode never replays;
+    - {b flight-recorder}: a killed cell leaves a parseable
+      [flight-<cell_key>.json] black box behind ({!Mk_obs.Flight})
+      that attributes exactly the killed cell and carries a non-empty
+      Perfetto trace, and surviving cells dump nothing.
 
     Everything is seeded and simulated — no processes are killed, no
     wall clock is read — so the gate ([simos chaos --smoke], wired

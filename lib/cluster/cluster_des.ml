@@ -145,9 +145,9 @@ type sharding = {
   fast_forwarded : int;  (** iterations advanced in closed form *)
 }
 
-let sharded_allreduce_loop ?pool ?(fast_forward = true) ~shards ~nodes
-    ~ranks_per_node ~threads_per_rank ~window ~iterations ~bytes ~profile
-    ~fabric ~seed () =
+let sharded_allreduce_loop ?pool ?observer ?(fast_forward = true) ~shards
+    ~nodes ~ranks_per_node ~threads_per_rank ~window ~iterations ~bytes
+    ~profile ~fabric ~seed () =
   if nodes <= 0 || iterations <= 0 then
     invalid_arg "Cluster_des.sharded_allreduce_loop: positive sizes required";
   if shards <= 0 then
@@ -244,7 +244,7 @@ let sharded_allreduce_loop ?pool ?(fast_forward = true) ~shards ~nodes
     let sent_before = Array.fold_left ( + ) 0 sent in
     Array.blit exits 0 prev_exits 0 nodes;
     let stats =
-      Mk_engine.Shard.run ?pool ~shards ~lookahead ~init ~receive ()
+      Mk_engine.Shard.run ?pool ?observer ~shards ~lookahead ~init ~receive ()
     in
     Array.iteri
       (fun s n ->

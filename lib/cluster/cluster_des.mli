@@ -46,6 +46,7 @@ type sharding = {
 
 val sharded_allreduce_loop :
   ?pool:Mk_engine.Pool.t ->
+  ?observer:(Mk_engine.Shard.sample -> unit) ->
   ?fast_forward:bool ->
   shards:int ->
   nodes:int ->
@@ -71,7 +72,11 @@ val sharded_allreduce_loop :
     (the iteration map is max-plus rank-one), which is what makes
     131,072-node runs take seconds instead of minutes.  Emits
     per-shard ["des"] observability counters (events, null messages,
-    horizon stalls) when a recorder is active.
+    horizon stalls) when a recorder is active.  [observer] receives
+    every conservative epoch's {!Mk_engine.Shard.sample} (feed it
+    {!Mk_obs.Profile.observe} to build a deterministic self-profile;
+    iterations share one absolute clock, so buckets compose across
+    {!Mk_engine.Shard.run} calls).
     @raise Invalid_argument on non-positive sizes or shard count. *)
 
 val analytic_allreduce_loop :

@@ -351,8 +351,10 @@ type supervised = {
   backoff_ns : int;
 }
 
+let flight_path ~dir ~key = Filename.concat dir ("flight-" ^ key ^ ".json")
+
 let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
-    cells =
+    ?flight_dir cells =
   List.iter
     (fun c ->
       if c.runs <= 0 then
@@ -379,16 +381,43 @@ let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
     match replayed with
     | Some p -> `Replayed p
     | None ->
+        (* Flight recorder: a per-cell black box, armed for the whole
+           supervised extent (all attempts share one ring — the tail
+           of the last, fatal attempt survives wraparound).  Created,
+           filled and snapshotted on this worker domain only; the
+           immutable snapshot crosses to the submitter through the
+           pool barrier below. *)
+        let ring =
+          match flight_dir with
+          | None -> None
+          | Some _ ->
+              Some (Mk_obs.Flight.create ~label:(cell_label c) ~seed:c.seed ())
+        in
+        let arm f =
+          match ring with None -> f () | Some r -> Mk_obs.Flight.with_ring r f
+        in
         let out =
-          Supervise.run
-            ~chaos:(fun ~attempt -> chaos ~cell:i ~attempt)
-            policy
-            (fun () ->
-              Supervise.check_budget policy ~units:(cell_units c);
-              summarise ~nodes:c.nodes
-                (List.init c.runs (fun r ->
-                     Driver.run ?faults:c.faults ~scenario:c.scenario
-                       ~app:c.app ~nodes:c.nodes ~seed:(seed_of c r) ())))
+          arm (fun () ->
+              Supervise.run
+                ~chaos:(fun ~attempt ->
+                  (match ring with
+                  | None -> ()
+                  | Some r ->
+                      Mk_obs.Flight.instant r ~ts:0 ~node:0 ~cat:"cell"
+                        ~name:(Printf.sprintf "attempt %d" attempt) ());
+                  chaos ~cell:i ~attempt)
+                policy
+                (fun () ->
+                  Supervise.check_budget policy ~units:(cell_units c);
+                  summarise ~nodes:c.nodes
+                    (List.init c.runs (fun r ->
+                         (match ring with
+                         | None -> ()
+                         | Some fr ->
+                             Mk_obs.Flight.instant fr ~ts:0 ~node:0 ~cat:"cell"
+                               ~name:(Printf.sprintf "repetition %d" r) ());
+                         Driver.run ?faults:c.faults ~scenario:c.scenario
+                           ~app:c.app ~nodes:c.nodes ~seed:(seed_of c r) ()))))
         in
         (* Record from the worker, as soon as the cell completes: a
            kill between cells then loses nothing already done. *)
@@ -397,7 +426,12 @@ let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
             Mk_engine.Journal.record j ~key ~label:(cell_label c)
               (point_to_json p)
         | _ -> ());
-        `Computed out
+        let flight =
+          match (out.Supervise.result, ring) with
+          | Error _, Some r -> Some (Mk_obs.Flight.snapshot r)
+          | _ -> None
+        in
+        `Computed (out, flight)
   in
   let raw = Mk_engine.Pool.parallel_map_result ?pool task indexed in
   let zero =
@@ -410,9 +444,22 @@ let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
       backoff_ns = 0;
     }
   in
+  (* Black-box dumps happen here, on the submitting domain after the
+     barrier — one writer, cell order, through the same crash-safe
+     rename as every other artifact. *)
+  let dump_flight ~key ~error flight =
+    match (flight_dir, flight) with
+    | Some dir, Some snap ->
+        Mk_engine.Atomic_file.write
+          (flight_path ~dir ~key)
+          (Mk_engine.Json.to_string_pretty
+             (Mk_obs.Flight.to_json ~cell_key:key ~reason:error snap)
+          ^ "\n")
+    | _ -> ()
+  in
   let s =
     List.fold_left2
-      (fun acc c r ->
+      (fun acc (_, c, key) r ->
         match r with
         | Ok (`Replayed p) ->
             {
@@ -420,7 +467,7 @@ let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
               outcomes = (c, Completed p) :: acc.outcomes;
               replayed = acc.replayed + 1;
             }
-        | Ok (`Computed out) -> (
+        | Ok (`Computed (out, flight)) -> (
             let retries = acc.retries + out.Supervise.attempts - 1 in
             let backoff_ns = acc.backoff_ns + out.Supervise.backoff_ns in
             match out.Supervise.result with
@@ -433,6 +480,7 @@ let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
                   backoff_ns;
                 }
             | Error { Supervise.error; attempts } ->
+                dump_flight ~key ~error flight;
                 {
                   acc with
                   outcomes = (c, Quarantined { error; attempts }) :: acc.outcomes;
@@ -452,7 +500,7 @@ let supervised_points ?pool ?(policy = Supervise.default) ?journal ?chaos
                 :: acc.outcomes;
               quarantined = acc.quarantined + 1;
             })
-      zero cells raw
+      zero indexed raw
   in
   let s = { s with outcomes = List.rev s.outcomes } in
   (* Supervision counters, emitted once on the submitting domain
@@ -538,4 +586,31 @@ let des_checks ?pool ?(scenarios = Scenario.trio) ~nodes ~shards ?(seed = 42)
         sharded;
         des_stats;
       })
+    scenarios
+
+(* The same workload as [des_checks], but instrumented: each scenario's
+   sharded run feeds an engine self-profiler through the epoch
+   observer.  The profile consumes only protocol-determined
+   Shard.samples, so the rows are byte-identical across pool sizes —
+   the property [simos profile -o] and test/test_obs.ml rely on. *)
+let des_profiles ?pool ?(scenarios = Scenario.trio) ?bucket_ns ~nodes ~shards
+    ?(iterations = 10) ?(seed = 42) () =
+  if shards <= 0 then
+    invalid_arg "Experiment.des_profiles: shards must be positive";
+  if iterations <= 0 then
+    invalid_arg "Experiment.des_profiles: iterations must be positive";
+  let window = 2 * Mk_engine.Units.ms in
+  List.map
+    (fun (sc : Scenario.t) ->
+      let os = sc.Scenario.make () in
+      let profile = os.Mk_kernel.Os.app_noise in
+      let fabric = Mk_fabric.Fabric.make ~nodes () in
+      let p = Mk_obs.Profile.create ?bucket_ns ~shards () in
+      let _ =
+        Cluster_des.sharded_allreduce_loop ?pool
+          ~observer:(Mk_obs.Profile.observe p) ~shards ~nodes
+          ~ranks_per_node:64 ~threads_per_rank:1 ~window ~iterations ~bytes:8
+          ~profile ~fabric ~seed ()
+      in
+      (sc.Scenario.label, p))
     scenarios

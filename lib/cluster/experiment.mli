@@ -224,11 +224,16 @@ type supervised = {
   backoff_ns : int;  (** simulated backoff accumulated by retries *)
 }
 
+val flight_path : dir:string -> key:string -> string
+(** Where {!supervised_points} drops a quarantined cell's black box:
+    [dir/flight-<key>.json]. *)
+
 val supervised_points :
   ?pool:Mk_engine.Pool.t ->
   ?policy:Supervise.policy ->
   ?journal:Mk_engine.Journal.t ->
   ?chaos:(cell:int -> attempt:int -> unit) ->
+  ?flight_dir:string ->
   cell list ->
   supervised
 (** Like {!points}, but each {e cell} is one supervised task (its
@@ -239,9 +244,14 @@ val supervised_points :
     from it on resume; a replayed cell is bit-identical to a
     recomputed one.  [chaos] injects a fault before attempt
     [attempt] of cell [cell] (input index) — the {!Chaos} harness
-    hook.  Emits [supervise/journal_hits,retries,quarantines]
-    counters through {!Mk_obs.Hook} after the barrier.  Raises
-    [Invalid_argument] if any cell has [runs <= 0]. *)
+    hook.  [flight_dir] arms a per-cell {!Mk_obs.Flight} ring for
+    every computed cell; when a cell is quarantined its last
+    {!Mk_obs.Flight.default_capacity} events are dumped crash-safely
+    to {!flight_path} (submitter-side, after the barrier), so the
+    quarantine report is never the only evidence.  Emits
+    [supervise/journal_hits,retries,quarantines] counters through
+    {!Mk_obs.Hook} after the barrier.  Raises [Invalid_argument] if
+    any cell has [runs <= 0]. *)
 
 val series_of_supervised : (cell * outcome) list -> series list
 (** Regroup supervised outcomes into report series: one series per
@@ -287,3 +297,20 @@ val des_checks :
     DES cross-validation workload (64 ranks per node, 2 ms windows,
     10 iterations, 8-byte reductions).
     @raise Invalid_argument when [shards <= 0]. *)
+
+val des_profiles :
+  ?pool:Mk_engine.Pool.t ->
+  ?scenarios:Scenario.t list ->
+  ?bucket_ns:Mk_engine.Units.time ->
+  nodes:int ->
+  shards:int ->
+  ?iterations:int ->
+  ?seed:int ->
+  unit ->
+  (string * Mk_obs.Profile.t) list
+(** The [simos profile] tier: the {!des_checks} workload run sharded
+    with an {!Mk_obs.Profile} observing every conservative epoch — one
+    labelled self-profile per scenario.  Profiles fold only
+    protocol-determined {!Mk_engine.Shard.sample}s, so the result (and
+    its JSON) is byte-identical for every pool size.
+    @raise Invalid_argument when [shards <= 0] or [iterations <= 0]. *)

@@ -384,3 +384,82 @@ let des_table (checks : Experiment.des_check list) =
     | c :: _ -> Printf.sprintf "%d shard(s)" c.Experiment.des_shards
     | [] -> "sharded")
     (Table.render ~header rows)
+
+(* ------------------------------------------------------------------ *)
+(* Self-profiler views (simos profile)                                 *)
+
+let pct v = Printf.sprintf "%.1f%%" v
+
+let profile_timeline ~label p =
+  let header =
+    [ "bucket"; "epochs"; "events"; "cross"; "nulls"; "stalls"; "backlog" ]
+  in
+  let rows =
+    List.map
+      (fun (b : Mk_obs.Profile.bucket) ->
+        [
+          Units.time_to_string b.Mk_obs.Profile.b_start;
+          string_of_int b.Mk_obs.Profile.b_epochs;
+          string_of_int b.Mk_obs.Profile.b_events;
+          string_of_int b.Mk_obs.Profile.b_cross;
+          string_of_int b.Mk_obs.Profile.b_nulls;
+          string_of_int b.Mk_obs.Profile.b_stalls;
+          string_of_int b.Mk_obs.Profile.b_max_backlog;
+        ])
+      (Mk_obs.Profile.buckets p)
+  in
+  let tt = Mk_obs.Profile.totals p in
+  Printf.sprintf
+    "%s: %d epochs, %.1f events/epoch, null %s, stall %s, horizon utilization %.2f\n%s"
+    label tt.Mk_obs.Profile.t_epochs
+    (Mk_obs.Profile.events_per_epoch tt)
+    (pct (Mk_obs.Profile.null_pct tt))
+    (pct (Mk_obs.Profile.stall_pct ~shards:(Mk_obs.Profile.shards p) tt))
+    (Mk_obs.Profile.horizon_utilization tt)
+    (Table.render ~header rows)
+
+let profile_hot ~shards rows =
+  let header =
+    [
+      "scenario"; "events"; "epochs"; "ev/epoch"; "null"; "stall"; "horizon";
+      "backlog";
+    ]
+  in
+  let body =
+    List.map
+      (fun (label, (tt : Mk_obs.Profile.totals)) ->
+        [
+          label;
+          string_of_int tt.Mk_obs.Profile.t_events;
+          string_of_int tt.Mk_obs.Profile.t_epochs;
+          Printf.sprintf "%.1f" (Mk_obs.Profile.events_per_epoch tt);
+          pct (Mk_obs.Profile.null_pct tt);
+          pct (Mk_obs.Profile.stall_pct ~shards tt);
+          Printf.sprintf "%.2f" (Mk_obs.Profile.horizon_utilization tt);
+          string_of_int tt.Mk_obs.Profile.t_max_backlog;
+        ])
+      rows
+  in
+  "hot scenarios (by simulated events)\n" ^ Table.render ~header body
+
+let profile_json ~nodes ~shards ~seed rows =
+  Json.Obj
+    [
+      ("schema", Json.String "multikernel-profile-report/1");
+      ("nodes", Json.Int nodes);
+      ("shards", Json.Int shards);
+      ("seed", Json.Int seed);
+      ( "scenarios",
+        Json.List
+          (List.map
+             (fun (label, p) ->
+               Json.Obj
+                 [
+                   ("scenario", Json.String label);
+                   ("profile", Mk_obs.Profile.to_json p);
+                 ])
+             rows) );
+      ( "attribution",
+        Mk_obs.Profile.attribution_json ~shards
+          (List.map (fun (l, p) -> (l, Mk_obs.Profile.totals p)) rows) );
+    ]

@@ -80,3 +80,25 @@ val supervision_summary : Experiment.supervised -> string
     counts plus one line per quarantined cell (label, attempts,
     error).  The CLI prints this to {e stderr} so journaled stdout
     stays byte-identical between fresh and resumed runs. *)
+
+val profile_timeline : label:string -> Mk_obs.Profile.t -> string
+(** The engine self-profile of one sharded-DES run: a summary line
+    (epochs, events/epoch, null and stall rates, horizon utilization)
+    over the simulated-time bucket table.  Deterministic — built only
+    from {!Mk_engine.Shard.sample}s. *)
+
+val profile_hot :
+  shards:int -> (string * Mk_obs.Profile.totals) list -> string
+(** The top-k hot-scenario attribution table ({!Mk_obs.Profile.top}
+    output): one row per labelled run, ranked by simulated events. *)
+
+val profile_json :
+  nodes:int ->
+  shards:int ->
+  seed:int ->
+  (string * Mk_obs.Profile.t) list ->
+  Mk_engine.Json.t
+(** The [simos profile -o] document (schema
+    ["multikernel-profile-report/1"]): run parameters, each scenario's
+    {!Mk_obs.Profile.to_json}, and the hot-scenario attribution.
+    Deterministic — byte-identical for every pool size. *)

@@ -322,6 +322,12 @@ let reset_stats (pool : t) =
 let executed_jobs (pool : t) = Array.copy pool.executed
 let reset_executed = reset_stats
 
+let injector_depth (pool : t) =
+  Mutex.lock pool.mutex;
+  let n = Queue.length pool.injected in
+  Mutex.unlock pool.mutex;
+  n
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   let domains = pool.domains in

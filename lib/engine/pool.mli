@@ -97,6 +97,13 @@ val executed_jobs : t -> int array
 (** [stats t |> fun s -> s.executed] — kept for the bench layer's
     utilisation report. *)
 
+val injector_depth : t -> int
+(** Jobs currently waiting on the [submit] injector queue (taken
+    under the pool mutex, so exact at the instant of the call).  Like
+    {!stats} this is scheduler state — nondeterministic by nature,
+    for the self-profiler's live view only, never for simulation
+    output. *)
+
 val reset_executed : t -> unit
 (** Alias of {!reset_stats}. *)
 

@@ -53,6 +53,22 @@ type stats = {
   horizon_stalls : int array;
 }
 
+(* Per-epoch self-profiler sample.  Every field is computed on the
+   coordinator after the epoch barrier from per-shard counters that
+   the protocol itself makes deterministic (identical for any pool
+   size or shard placement), so a profile built from these samples
+   obeys the same byte-identity contract as the simulation output. *)
+type sample = {
+  sample_epoch : int;
+  sample_bound : Units.time;
+  sample_horizon : Units.time;
+  sample_events : int;
+  sample_cross : int;
+  sample_nulls : int;
+  sample_stalls : int;
+  sample_backlog : int;
+}
+
 let id (t : _ t) = t.id
 let shard_count (t : _ t) = t.shards
 let now (t : _ t) = Sim.now t.sim
@@ -126,7 +142,7 @@ let epoch (t : _ t) ~horizon =
   done;
   (next, (if t.min_sent = max_int then None else Some t.min_sent))
 
-let run ?pool ~shards ~lookahead ~init ~receive () =
+let run ?pool ?observer ~shards ~lookahead ~init ~receive () =
   if shards <= 0 then invalid_arg "Shard.run: shards must be positive";
   if lookahead <= 0 then invalid_arg "Shard.run: lookahead must be positive";
   let boxes =
@@ -172,6 +188,45 @@ let run ?pool ~shards ~lookahead ~init ~receive () =
            (Sim.next_time t.sim, None))
          ids)
   in
+  (* The observer fires on the coordinator, after the epoch barrier:
+     the parked workers' writes to the shard counters and mailboxes
+     happen-before these reads, and the values themselves are
+     protocol-determined, so the sample stream is identical for
+     sequential and [-j N] runs. *)
+  let observe =
+    match observer with
+    | None -> fun ~g:_ ~horizon:_ -> ()
+    | Some f ->
+        let sum field = Array.fold_left (fun acc t -> acc + field t) 0 ts in
+        let prev_events = ref 0
+        and prev_cross = ref 0
+        and prev_nulls = ref 0
+        and prev_stalls = ref 0 in
+        fun ~g ~horizon ->
+          let events = sum (fun t -> t.events)
+          and cross = sum (fun t -> t.cross_sent)
+          and nulls = sum (fun t -> t.nulls_sent)
+          and stalls = sum (fun t -> t.stalls) in
+          let backlog = ref 0 in
+          Array.iter
+            (Array.iter (fun box -> backlog := !backlog + Mailbox.length box))
+            boxes;
+          f
+            {
+              sample_epoch = !epochs;
+              sample_bound = g;
+              sample_horizon = horizon;
+              sample_events = events - !prev_events;
+              sample_cross = cross - !prev_cross;
+              sample_nulls = nulls - !prev_nulls;
+              sample_stalls = stalls - !prev_stalls;
+              sample_backlog = !backlog;
+            };
+          prev_events := events;
+          prev_cross := cross;
+          prev_nulls := nulls;
+          prev_stalls := stalls
+  in
   let continue = ref true in
   while !continue do
     let g = global_bound !reports in
@@ -180,7 +235,8 @@ let run ?pool ~shards ~lookahead ~init ~receive () =
       incr epochs;
       let horizon = sat_add g (lookahead - 1) in
       reports :=
-        Pool.parallel_map ?pool (fun i -> epoch ts.(i) ~horizon) ids
+        Pool.parallel_map ?pool (fun i -> epoch ts.(i) ~horizon) ids;
+      observe ~g ~horizon
     end
   done;
   {

@@ -53,8 +53,25 @@ type stats = {
 (** All deterministic: identical for every pool size, including none —
     safe to feed observability counters or snapshots. *)
 
+type sample = {
+  sample_epoch : int;  (** 1-based epoch index *)
+  sample_bound : Units.time;  (** the epoch's global bound [g] *)
+  sample_horizon : Units.time;  (** [g + lookahead - 1] *)
+  sample_events : int;  (** events fired this epoch, all shards *)
+  sample_cross : int;  (** real cross-shard messages sent this epoch *)
+  sample_nulls : int;  (** null promises sent this epoch *)
+  sample_stalls : int;  (** shards that held events but fired none *)
+  sample_backlog : int;
+      (** packets (real + null) in flight at the epoch barrier *)
+}
+(** One epoch of engine internals, as handed to {!run}'s [observer].
+    Like {!stats}, every field is protocol-determined — identical for
+    sequential and [-j N] runs — so {!Mk_obs.Profile} timelines built
+    from samples keep the byte-identity contract. *)
+
 val run :
   ?pool:Pool.t ->
+  ?observer:(sample -> unit) ->
   shards:int ->
   lookahead:Units.time ->
   init:('msg t -> unit) ->
@@ -66,7 +83,9 @@ val run :
     each delivered cross- or same-shard {!send} — it fires at the
     message's timestamp, so [now t] inside it {e is} the [at] of the
     send.  Epochs repeat until every heap is empty and no message is
-    in flight.  Uses the ambient default pool when [pool] is absent;
-    degrades to a sequential loop inside a pool worker, with
+    in flight.  [observer] fires once per epoch, on the coordinating
+    caller after the epoch barrier (never on a worker), with that
+    epoch's {!sample}.  Uses the ambient default pool when [pool] is
+    absent; degrades to a sequential loop inside a pool worker, with
     identical results.
     @raise Invalid_argument when [shards <= 0] or [lookahead <= 0]. *)

@@ -1,0 +1,199 @@
+open Mk_engine
+
+(* Black-box flight recorder: a bounded ring of DES-stamped events
+   that is cheap enough to leave armed on every supervised cell and is
+   dumped only when the cell dies.  Determinism and domain safety rest
+   on two facts.  (1) Each ring is single-owner: the worker domain
+   running a cell creates it, appends to it and snapshots it; the
+   snapshot (an immutable list) travels to the submitter only through
+   the [Pool.parallel_map_result] barrier, which establishes the
+   happens-before edge.  A one-domain ring is the degenerate SPSC
+   queue — no atomics needed.  (2) The ambient channel below is a
+   [Domain.DLS] slot, the same sanctioned pattern as {!Hook}: each
+   domain sees only its own ring, so there is no cross-domain mutable
+   global for mklint R4/R8 to object to.  Wraparound is a pure
+   function of the append sequence ([next mod capacity]), so the
+   surviving window is identical for sequential and [-j N] runs. *)
+
+type entry = {
+  e_ts : Units.time;
+  e_dur : Units.time option;
+  e_node : int;
+  e_tid : int;
+  e_cat : string;
+  e_name : string;
+  e_value : int option;
+}
+
+type t = {
+  label : string;
+  seed : int;
+  capacity : int;
+  slots : entry array;
+  mutable next : int; (* total appended since [create]; never wraps *)
+}
+
+let padding =
+  {
+    e_ts = 0;
+    e_dur = None;
+    e_node = 0;
+    e_tid = 0;
+    e_cat = "";
+    e_name = "";
+    e_value = None;
+  }
+
+let default_capacity = 512
+
+let create ?(capacity = default_capacity) ~label ~seed () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  { label; seed; capacity; slots = Array.make capacity padding; next = 0 }
+
+let label t = t.label
+let capacity t = t.capacity
+let recorded t = t.next
+
+let append t e =
+  t.slots.(t.next mod t.capacity) <- e;
+  t.next <- t.next + 1
+
+let span t ~ts ~dur ~node ~tid ~cat ~name () =
+  append t
+    {
+      e_ts = ts;
+      e_dur = Some dur;
+      e_node = node;
+      e_tid = tid;
+      e_cat = cat;
+      e_name = name;
+      e_value = None;
+    }
+
+let instant t ~ts ~node ~cat ~name () =
+  append t
+    {
+      e_ts = ts;
+      e_dur = None;
+      e_node = node;
+      e_tid = 0;
+      e_cat = cat;
+      e_name = name;
+      e_value = None;
+    }
+
+let count t ~ts ~node ~subsystem ~name n =
+  append t
+    {
+      e_ts = ts;
+      e_dur = None;
+      e_node = node;
+      e_tid = 0;
+      e_cat = subsystem;
+      e_name = name;
+      e_value = Some n;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Ambient arming, mirroring Hook: a domain-local slot so the Driver
+   reaches the ring without threading it through every layer.  The
+   supervised path refuses --trace/--metrics (Validate.journal_mode),
+   so the Hook recorder is absent exactly when the flight recorder
+   matters — it needs its own channel. *)
+
+let slot : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let armed () = Domain.DLS.get slot
+let is_armed () = Option.is_some (Domain.DLS.get slot)
+
+let with_ring t f =
+  let prev = Domain.DLS.get slot in
+  Domain.DLS.set slot (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set slot prev) f
+
+let record_span ~ts ~dur ~node ~tid ~cat ~name () =
+  match Domain.DLS.get slot with
+  | None -> ()
+  | Some t -> span t ~ts ~dur ~node ~tid ~cat ~name ()
+
+let record_instant ~ts ~node ~cat ~name () =
+  match Domain.DLS.get slot with
+  | None -> ()
+  | Some t -> instant t ~ts ~node ~cat ~name ()
+
+let record_count ~ts ~node ~subsystem ~name n =
+  match Domain.DLS.get slot with
+  | None -> ()
+  | Some t -> count t ~ts ~node ~subsystem ~name n
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and export *)
+
+type snapshot = {
+  snap_label : string;
+  snap_seed : int;
+  snap_capacity : int;
+  snap_recorded : int;
+  snap_entries : (int * entry) list;
+}
+
+let snapshot t =
+  let kept = min t.next t.capacity in
+  let entries =
+    List.init kept (fun i ->
+        let s = t.next - kept + i in
+        (s, t.slots.(s mod t.capacity)))
+  in
+  {
+    snap_label = t.label;
+    snap_seed = t.seed;
+    snap_capacity = t.capacity;
+    snap_recorded = t.next;
+    snap_entries = entries;
+  }
+
+let dropped s = s.snap_recorded - List.length s.snap_entries
+
+let to_events s =
+  List.map
+    (fun (seq, e) ->
+      let args =
+        match e.e_value with
+        | None -> []
+        | Some v -> [ ("value", Json.Int v) ]
+      in
+      {
+        Trace.ts = e.e_ts;
+        dur = e.e_dur;
+        pid = max 0 e.e_node;
+        tid = e.e_tid;
+        cat = e.e_cat;
+        name = e.e_name;
+        args;
+        seq;
+      })
+    s.snap_entries
+
+let to_json ?cell_key ?reason s =
+  let evs = to_events s in
+  let pids =
+    List.sort_uniq Int.compare (List.map (fun (e : Trace.event) -> e.Trace.pid) evs)
+  in
+  let processes = List.map (fun p -> (p, "node " ^ string_of_int p)) pids in
+  Json.Obj
+    ([
+       ("schema", Json.String "multikernel-flight/1");
+       ("label", Json.String s.snap_label);
+       ("seed", Json.Int s.snap_seed);
+     ]
+    @ (match cell_key with
+      | None -> []
+      | Some k -> [ ("cell_key", Json.String k) ])
+    @ (match reason with
+      | None -> []
+      | Some r -> [ ("reason", Json.String r) ])
+    @ [
+        ("capacity", Json.Int s.snap_capacity);
+        ("recorded", Json.Int s.snap_recorded);
+        ("dropped", Json.Int (dropped s));
+        ("trace", Trace.to_json ~processes ~threads:[] evs);
+      ])

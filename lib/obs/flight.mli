@@ -1,0 +1,132 @@
+(** Always-on black-box flight recorder (docs/OBSERVABILITY.md §2).
+
+    A bounded per-cell ring of DES-clock-stamped events, armed around
+    every supervised cell and dumped (via {!Mk_engine.Atomic_file}) as
+    [flight-<cell_key>.json] only when the cell is quarantined or a
+    chaos run kills it — every crash ships a trace of its last
+    [capacity] events, exportable to Perfetto through {!Trace}.
+
+    Domain safety: each ring is single-owner (created, filled and
+    snapshotted on the worker domain running the cell — the degenerate
+    lock-free SPSC case), and the ambient channel is a [Domain.DLS]
+    slot like {!Hook}'s, so no mutable state crosses domains except as
+    an immutable {!snapshot} through the pool barrier.  Wraparound is
+    a pure function of the append count, so the surviving window is
+    byte-identical between sequential and [-j N] runs. *)
+
+type entry = {
+  e_ts : Mk_engine.Units.time;  (** DES timestamp, ns *)
+  e_dur : Mk_engine.Units.time option;  (** [Some] for spans *)
+  e_node : int;  (** attribution node (Perfetto pid) *)
+  e_tid : int;
+  e_cat : string;
+  e_name : string;
+  e_value : int option;  (** [Some] for counter samples *)
+}
+
+type t
+
+val default_capacity : int
+(** 512 entries — small enough to arm on every cell, large enough to
+    cover several iterations of the densest Tier-1 apps. *)
+
+val create : ?capacity:int -> label:string -> seed:int -> unit -> t
+(** Fresh ring.  [label] should identify the cell
+    ({!Experiment.cell_label} style) so a dump attributes its origin.
+    Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val label : t -> string
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events appended since {!create} (wraparound included). *)
+
+(** {1 Recording} *)
+
+val span :
+  t ->
+  ts:Mk_engine.Units.time ->
+  dur:Mk_engine.Units.time ->
+  node:int ->
+  tid:int ->
+  cat:string ->
+  name:string ->
+  unit ->
+  unit
+
+val instant :
+  t -> ts:Mk_engine.Units.time -> node:int -> cat:string -> name:string -> unit -> unit
+
+val count :
+  t ->
+  ts:Mk_engine.Units.time ->
+  node:int ->
+  subsystem:string ->
+  name:string ->
+  int ->
+  unit
+
+(** {1 Ambient arming}
+
+    Mirrors {!Hook}: a domain-local slot lets the Driver reach the
+    ring without threading it through every layer.  All [record_*]
+    functions are no-ops (one DLS read) when no ring is armed. *)
+
+val with_ring : t -> (unit -> 'a) -> 'a
+(** [with_ring t f] arms [t] for the dynamic extent of [f] on the
+    calling domain, restoring the previous ring afterwards. *)
+
+val armed : unit -> t option
+
+val is_armed : unit -> bool
+(** Cheap guard for call sites that would otherwise allocate an event
+    name eagerly. *)
+
+val record_span :
+  ts:Mk_engine.Units.time ->
+  dur:Mk_engine.Units.time ->
+  node:int ->
+  tid:int ->
+  cat:string ->
+  name:string ->
+  unit ->
+  unit
+
+val record_instant :
+  ts:Mk_engine.Units.time -> node:int -> cat:string -> name:string -> unit -> unit
+
+val record_count :
+  ts:Mk_engine.Units.time ->
+  node:int ->
+  subsystem:string ->
+  name:string ->
+  int ->
+  unit
+
+(** {1 Snapshot and export} *)
+
+type snapshot = {
+  snap_label : string;
+  snap_seed : int;
+  snap_capacity : int;
+  snap_recorded : int;
+  snap_entries : (int * entry) list;
+      (** [(seq, entry)], oldest first; [seq] is the global append
+          index, so gaps before the first kept entry are visible. *)
+}
+
+val snapshot : t -> snapshot
+(** The last [min (recorded t) (capacity t)] events in append order.
+    Pure read; the ring stays armed and usable. *)
+
+val dropped : snapshot -> int
+(** Events lost to wraparound ([recorded - kept]). *)
+
+val to_events : snapshot -> Trace.event list
+(** Chrome-trace events: spans keep their duration, counter samples
+    become instants with a [value] arg; [seq] is the append index. *)
+
+val to_json : ?cell_key:string -> ?reason:string -> snapshot -> Mk_engine.Json.t
+(** The dump document (schema ["multikernel-flight/1"]): cell
+    identity, ring occupancy, and a full Perfetto-loadable trace
+    document under ["trace"]. *)

@@ -1,0 +1,209 @@
+open Mk_engine
+
+(* Engine self-profiler, deterministic tier.  One [t] accompanies one
+   sharded DES run: every {!Shard.sample} the coordinator hands us is
+   protocol-determined (see shard.mli), and samples arrive in epoch
+   order with nondecreasing global bounds — so the timeline below is
+   an append-only bucket list, no hash table, no sorting, and its
+   JSON rendering is byte-identical for sequential and [-j N] runs.
+   The nondeterministic tier (live Pool counters, injector depth)
+   deliberately lives elsewhere: {!Pool_stats} renders it, and
+   [simos profile --sched] keeps it out of the deterministic
+   document. *)
+
+type bucket = {
+  b_index : int;
+  b_start : Units.time;
+  b_epochs : int;
+  b_events : int;
+  b_cross : int;
+  b_nulls : int;
+  b_stalls : int;
+  b_max_backlog : int;
+}
+
+type totals = {
+  t_epochs : int;
+  t_events : int;
+  t_cross : int;
+  t_nulls : int;
+  t_stalls : int;
+  t_max_backlog : int;
+  t_first_bound : Units.time;
+  t_last_bound : Units.time;
+  t_lookahead : Units.time;
+}
+
+type t = {
+  shards : int;
+  bucket_ns : Units.time;
+  mutable cur : bucket option;
+  mutable closed : bucket list; (* most recent first *)
+  mutable totals : totals;
+  mutable samples : int;
+}
+
+let default_bucket_ns = Units.ms
+
+let create ?(bucket_ns = default_bucket_ns) ~shards () =
+  if bucket_ns <= 0 then
+    invalid_arg "Profile.create: bucket_ns must be positive";
+  if shards <= 0 then invalid_arg "Profile.create: shards must be positive";
+  {
+    shards;
+    bucket_ns;
+    cur = None;
+    closed = [];
+    totals =
+      {
+        t_epochs = 0;
+        t_events = 0;
+        t_cross = 0;
+        t_nulls = 0;
+        t_stalls = 0;
+        t_max_backlog = 0;
+        t_first_bound = 0;
+        t_last_bound = 0;
+        t_lookahead = 0;
+      };
+    samples = 0;
+  }
+
+let shards t = t.shards
+let bucket_ns t = t.bucket_ns
+
+let observe t (s : Shard.sample) =
+  let idx = s.Shard.sample_bound / t.bucket_ns in
+  let fold b =
+    {
+      b with
+      b_epochs = b.b_epochs + 1;
+      b_events = b.b_events + s.Shard.sample_events;
+      b_cross = b.b_cross + s.Shard.sample_cross;
+      b_nulls = b.b_nulls + s.Shard.sample_nulls;
+      b_stalls = b.b_stalls + s.Shard.sample_stalls;
+      b_max_backlog = max b.b_max_backlog s.Shard.sample_backlog;
+    }
+  in
+  let fresh =
+    {
+      b_index = idx;
+      b_start = idx * t.bucket_ns;
+      b_epochs = 1;
+      b_events = s.Shard.sample_events;
+      b_cross = s.Shard.sample_cross;
+      b_nulls = s.Shard.sample_nulls;
+      b_stalls = s.Shard.sample_stalls;
+      b_max_backlog = s.Shard.sample_backlog;
+    }
+  in
+  (match t.cur with
+  | Some b when b.b_index = idx -> t.cur <- Some (fold b)
+  | Some b ->
+      (* Bounds are nondecreasing, so a new index closes the old
+         bucket for good. *)
+      t.closed <- b :: t.closed;
+      t.cur <- Some fresh
+  | None -> t.cur <- Some fresh);
+  let tt = t.totals in
+  t.totals <-
+    {
+      t_epochs = tt.t_epochs + 1;
+      t_events = tt.t_events + s.Shard.sample_events;
+      t_cross = tt.t_cross + s.Shard.sample_cross;
+      t_nulls = tt.t_nulls + s.Shard.sample_nulls;
+      t_stalls = tt.t_stalls + s.Shard.sample_stalls;
+      t_max_backlog = max tt.t_max_backlog s.Shard.sample_backlog;
+      t_first_bound =
+        (if t.samples = 0 then s.Shard.sample_bound else tt.t_first_bound);
+      t_last_bound = s.Shard.sample_bound;
+      t_lookahead =
+        (if t.samples = 0 then
+           s.Shard.sample_horizon - s.Shard.sample_bound + 1
+         else tt.t_lookahead);
+    };
+  t.samples <- t.samples + 1
+
+let buckets t =
+  List.rev (match t.cur with None -> t.closed | Some b -> b :: t.closed)
+
+let totals t = t.totals
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+(* Mean simulated time an epoch advances the global bound, as a
+   fraction of the lookahead window — 1.0 means every barrier buys a
+   full horizon of progress, small values mean the conservative
+   protocol is spinning on synchronisation. *)
+let horizon_utilization tt =
+  if tt.t_epochs <= 1 || tt.t_lookahead <= 0 then 1.0
+  else
+    ratio (tt.t_last_bound - tt.t_first_bound) ((tt.t_epochs - 1) * tt.t_lookahead)
+
+let stall_pct ~shards tt = 100.0 *. ratio tt.t_stalls (tt.t_epochs * shards)
+let null_pct tt = 100.0 *. ratio tt.t_nulls (tt.t_nulls + tt.t_cross)
+let events_per_epoch tt = ratio tt.t_events tt.t_epochs
+
+let bucket_to_json b =
+  Json.Obj
+    [
+      ("start_ns", Json.Int b.b_start);
+      ("epochs", Json.Int b.b_epochs);
+      ("events", Json.Int b.b_events);
+      ("cross_messages", Json.Int b.b_cross);
+      ("null_messages", Json.Int b.b_nulls);
+      ("stalls", Json.Int b.b_stalls);
+      ("max_backlog", Json.Int b.b_max_backlog);
+    ]
+
+let totals_to_json ~shards tt =
+  Json.Obj
+    [
+      ("epochs", Json.Int tt.t_epochs);
+      ("events", Json.Int tt.t_events);
+      ("cross_messages", Json.Int tt.t_cross);
+      ("null_messages", Json.Int tt.t_nulls);
+      ("stalls", Json.Int tt.t_stalls);
+      ("max_backlog", Json.Int tt.t_max_backlog);
+      ("lookahead_ns", Json.Int tt.t_lookahead);
+      ("span_ns", Json.Int (tt.t_last_bound - tt.t_first_bound));
+      ("events_per_epoch", Json.Float (events_per_epoch tt));
+      ("null_pct", Json.Float (null_pct tt));
+      ("stall_pct", Json.Float (stall_pct ~shards tt));
+      ("horizon_utilization", Json.Float (horizon_utilization tt));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "multikernel-profile/1");
+      ("shards", Json.Int t.shards);
+      ("bucket_ns", Json.Int t.bucket_ns);
+      ("totals", totals_to_json ~shards:t.shards t.totals);
+      ("timeline", Json.List (List.map bucket_to_json (buckets t)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Hot-scenario attribution: rank labelled runs by deterministic
+   simulated cost.  Ties break on the label so the table is stable. *)
+
+let top ~k rows =
+  let sorted =
+    List.sort
+      (fun (la, (a : totals)) (lb, b) ->
+        let c = Int.compare b.t_events a.t_events in
+        if c <> 0 then c else String.compare la lb)
+      rows
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let attribution_json ~shards rows =
+  Json.List
+    (List.map
+       (fun (label, tt) ->
+         Json.Obj
+           (("label", Json.String label)
+           :: (match totals_to_json ~shards tt with
+              | Json.Obj fields -> fields
+              | _ -> assert false)))
+       rows)

@@ -340,6 +340,215 @@ let test_trace_nonempty () =
   check_bool "trace has events" true (String.length trace > 200);
   check_bool "metrics non-trivial" true (String.length metrics > 100)
 
+(* ------------------------------------------------------------------ *)
+(* Flight: bounded ring, ambient arming, dump shape *)
+
+let test_flight_under_capacity () =
+  let r = Flight.create ~capacity:8 ~label:"cell" ~seed:7 () in
+  Flight.span r ~ts:0 ~dur:10 ~node:0 ~tid:0 ~cat:"phase" ~name:"setup" ();
+  Flight.instant r ~ts:5 ~node:1 ~cat:"fault" ~name:"crash" ();
+  Flight.count r ~ts:9 ~node:0 ~subsystem:"mpi" ~name:"straggler" 3;
+  let s = Flight.snapshot r in
+  check_int "recorded" 3 s.Flight.snap_recorded;
+  check_int "kept" 3 (List.length s.Flight.snap_entries);
+  check_int "dropped" 0 (Flight.dropped s);
+  check_bool "seqs in append order" true
+    (List.map fst s.Flight.snap_entries = [ 0; 1; 2 ]);
+  check_bool "entries in append order" true
+    (List.map (fun (_, e) -> e.Flight.e_name) s.Flight.snap_entries
+    = [ "setup"; "crash"; "straggler" ])
+
+let test_flight_ambient () =
+  check_bool "starts unarmed" true (not (Flight.is_armed ()));
+  (* Unarmed record_* calls must be silent no-ops. *)
+  Flight.record_instant ~ts:0 ~node:0 ~cat:"c" ~name:"dropped" ();
+  let outer = Flight.create ~capacity:4 ~label:"outer" ~seed:0 () in
+  let inner = Flight.create ~capacity:4 ~label:"inner" ~seed:0 () in
+  Flight.with_ring outer (fun () ->
+      check_bool "armed inside" true (Flight.is_armed ());
+      Flight.record_instant ~ts:1 ~node:0 ~cat:"c" ~name:"a" ();
+      (* Nested arming shadows, then restores, the outer ring. *)
+      Flight.with_ring inner (fun () ->
+          Flight.record_instant ~ts:2 ~node:0 ~cat:"c" ~name:"b" ());
+      Flight.record_instant ~ts:3 ~node:0 ~cat:"c" ~name:"d" ());
+  check_bool "restored to unarmed" true (not (Flight.is_armed ()));
+  check_int "outer saw its two events" 2 (Flight.recorded outer);
+  check_int "inner saw one" 1 (Flight.recorded inner)
+
+let test_flight_dump_shape () =
+  let r = Flight.create ~capacity:4 ~label:"cell" ~seed:1 () in
+  for i = 0 to 9 do
+    Flight.instant r ~ts:i ~node:(i mod 2) ~cat:"c" ~name:(string_of_int i) ()
+  done;
+  let s = Flight.snapshot r in
+  check_int "events exported" 4 (List.length (Flight.to_events s));
+  match Flight.to_json ~cell_key:"k" ~reason:"why" s with
+  | Mk_engine.Json.Obj fields -> (
+      let str n =
+        match List.assoc_opt n fields with
+        | Some (Mk_engine.Json.String s) -> s
+        | _ -> "?"
+      in
+      check_string "schema" "multikernel-flight/1" (str "schema");
+      check_string "cell key" "k" (str "cell_key");
+      check_string "reason" "why" (str "reason");
+      match List.assoc_opt "trace" fields with
+      | Some (Mk_engine.Json.Obj t) -> (
+          match List.assoc_opt "traceEvents" t with
+          | Some (Mk_engine.Json.List evs) ->
+              check_bool "perfetto events present" true (List.length evs >= 4)
+          | _ -> Alcotest.fail "traceEvents missing")
+      | _ -> Alcotest.fail "trace document missing")
+  | _ -> Alcotest.fail "dump is not an object"
+
+let flight_wraparound =
+  QCheck.Test.make
+    ~name:"flight ring: last-N survive any overwrite pattern" ~count:200
+    QCheck.(pair (int_range 1 16) (int_range 0 200))
+    (fun (capacity, n) ->
+      let r = Flight.create ~capacity ~label:"qc" ~seed:0 () in
+      for i = 0 to n - 1 do
+        Flight.instant r ~ts:i ~node:0 ~cat:"c" ~name:(string_of_int i) ()
+      done;
+      let s = Flight.snapshot r in
+      let kept = min n capacity in
+      s.Flight.snap_recorded = n
+      && Flight.dropped s = n - kept
+      && List.length s.Flight.snap_entries = kept
+      && List.for_all2
+           (fun j (seq, e) ->
+             let expect = n - kept + j in
+             seq = expect
+             && e.Flight.e_ts = expect
+             && e.Flight.e_name = string_of_int expect)
+           (List.init kept Fun.id)
+           s.Flight.snap_entries)
+
+(* A quarantined cell's black box must be byte-identical between a
+   sequential and an oversubscribed parallel supervised run — the
+   ring only ever records DES-clock events from its own cell. *)
+
+let with_temp_dir prefix f =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+        (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let flight_dump_bytes ?pool seed =
+  let cells =
+    Mk_cluster.Experiment.compare_cells
+      ~scenarios:[ Mk_cluster.Scenario.mckernel ]
+      ~app:(app "hpcg") ~node_counts:[ 4; 8 ] ~runs:2 ~seed ()
+  in
+  let victim = seed mod List.length cells in
+  let chaos ~cell ~attempt:_ =
+    if cell = victim then failwith "qc: killed for the black box"
+  in
+  with_temp_dir "mkflightqc" @@ fun dir ->
+  let s =
+    Mk_cluster.Experiment.supervised_points ?pool ~chaos ~flight_dir:dir cells
+  in
+  Alcotest.(check int) "one quarantine" 1 s.Mk_cluster.Experiment.quarantined;
+  let key = Mk_cluster.Experiment.cell_key (List.nth cells victim) in
+  let ic = open_in_bin (Mk_cluster.Experiment.flight_path ~dir ~key) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let flight_dump_identity =
+  QCheck.Test.make ~name:"flight dump: -j 2 = sequential" ~count:4
+    QCheck.small_nat (fun seed ->
+      let pool = Mk_engine.Pool.create ~oversubscribe:true ~num_domains:2 () in
+      Fun.protect ~finally:(fun () -> Mk_engine.Pool.shutdown pool) @@ fun () ->
+      flight_dump_bytes seed = flight_dump_bytes ~pool seed)
+
+(* ------------------------------------------------------------------ *)
+(* Profile: bucket folding and the deterministic document *)
+
+let sample ~epoch ~bound ~horizon ~events ~cross ~nulls ~stalls ~backlog =
+  {
+    Mk_engine.Shard.sample_epoch = epoch;
+    sample_bound = bound;
+    sample_horizon = horizon;
+    sample_events = events;
+    sample_cross = cross;
+    sample_nulls = nulls;
+    sample_stalls = stalls;
+    sample_backlog = backlog;
+  }
+
+let test_profile_buckets () =
+  let p = Profile.create ~bucket_ns:1000 ~shards:2 () in
+  Profile.observe p
+    (sample ~epoch:1 ~bound:100 ~horizon:399 ~events:10 ~cross:2 ~nulls:3
+       ~stalls:1 ~backlog:5);
+  Profile.observe p
+    (sample ~epoch:2 ~bound:900 ~horizon:1199 ~events:4 ~cross:1 ~nulls:1
+       ~stalls:0 ~backlog:2);
+  Profile.observe p
+    (sample ~epoch:3 ~bound:2100 ~horizon:2399 ~events:6 ~cross:0 ~nulls:2
+       ~stalls:2 ~backlog:7);
+  (match Profile.buckets p with
+  | [ b0; b2 ] ->
+      check_int "first bucket index" 0 b0.Profile.b_index;
+      check_int "first bucket epochs" 2 b0.Profile.b_epochs;
+      check_int "first bucket events" 14 b0.Profile.b_events;
+      check_int "first bucket max backlog" 5 b0.Profile.b_max_backlog;
+      check_int "second bucket index" 2 b2.Profile.b_index;
+      check_int "second bucket start" 2000 b2.Profile.b_start;
+      check_int "second bucket events" 6 b2.Profile.b_events
+  | bs -> Alcotest.failf "expected 2 buckets, got %d" (List.length bs));
+  let tt = Profile.totals p in
+  check_int "total epochs" 3 tt.Profile.t_epochs;
+  check_int "total events" 20 tt.Profile.t_events;
+  check_int "lookahead from first sample" 300 tt.Profile.t_lookahead;
+  check_int "bound span" 2000 (tt.Profile.t_last_bound - tt.Profile.t_first_bound);
+  check_bool "null pct" true
+    (abs_float (Profile.null_pct tt -. 100.0 *. 6.0 /. 9.0) < 1e-9);
+  check_bool "stall pct" true
+    (abs_float (Profile.stall_pct ~shards:2 tt -. 50.0) < 1e-9)
+
+let test_profile_top () =
+  let tt events =
+    Profile.totals
+      (let p = Profile.create ~shards:1 () in
+       Profile.observe p
+         (sample ~epoch:1 ~bound:0 ~horizon:0 ~events ~cross:0 ~nulls:0
+            ~stalls:0 ~backlog:0);
+       p)
+  in
+  let rows = [ ("b", tt 5); ("a", tt 9); ("c", tt 9) ] in
+  check_bool "ranked by events, ties on label" true
+    (List.map fst (Profile.top ~k:2 rows) = [ "a"; "c" ])
+
+let profile_doc_bytes ?pool seed =
+  Mk_engine.Json.to_string
+    (Mk_cluster.Report.profile_json ~nodes:8 ~shards:2 ~seed
+       (Mk_cluster.Experiment.des_profiles ?pool ~nodes:8 ~shards:2
+          ~iterations:2 ~seed ()))
+
+let profile_identity =
+  QCheck.Test.make ~name:"profile document: -j 2 = sequential" ~count:3
+    QCheck.small_nat (fun seed ->
+      let pool = Mk_engine.Pool.create ~oversubscribe:true ~num_domains:2 () in
+      Fun.protect ~finally:(fun () -> Mk_engine.Pool.shutdown pool) @@ fun () ->
+      profile_doc_bytes seed = profile_doc_bytes ~pool seed)
+
+let test_profile_doc_nonempty () =
+  let doc = profile_doc_bytes 42 in
+  check_bool "profiles carry epochs" true
+    (String.length doc > 500
+    &&
+    match Mk_engine.Json.of_string doc with
+    | Ok (Mk_engine.Json.Obj fields) -> List.mem_assoc "attribution" fields
+    | _ -> false)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -379,6 +588,21 @@ let () =
           Alcotest.test_case "counters sum to executed jobs" `Quick
             test_pool_stats_counters_sum;
         ] );
+      ( "flight",
+        [
+          Alcotest.test_case "under capacity" `Quick test_flight_under_capacity;
+          Alcotest.test_case "ambient arm/restore" `Quick test_flight_ambient;
+          Alcotest.test_case "dump shape" `Quick test_flight_dump_shape;
+        ]
+        @ qsuite [ flight_wraparound; flight_dump_identity ] );
+      ( "profile",
+        [
+          Alcotest.test_case "bucket folding" `Quick test_profile_buckets;
+          Alcotest.test_case "top-k attribution" `Quick test_profile_top;
+          Alcotest.test_case "document non-empty" `Quick
+            test_profile_doc_nonempty;
+        ]
+        @ qsuite [ profile_identity ] );
       ( "determinism",
         Alcotest.test_case "exports non-empty" `Quick test_trace_nonempty
         :: qsuite [ trace_identity ] );
